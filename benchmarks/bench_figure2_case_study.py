@@ -1,0 +1,20 @@
+"""Figure 2 benchmark: the heavy-query case study."""
+
+from repro.experiments import figure2
+
+
+def test_figure2_report(context, benchmark):
+    methods = ("TrueCard", "BayesCard", "DeepDB", "FLAT")
+    output = benchmark.pedantic(
+        figure2.run, args=(context, methods), rounds=1, iterations=1
+    )
+    print("\n" + output)
+    assert "case study" in output
+
+
+def test_o5_heavy_query_dominates(context, stats_records):
+    """O5: the heaviest query's execution dwarfs the median query's —
+    mis-estimating it matters more than many small mistakes."""
+    runs = stats_records["TrueCard"].run.query_runs
+    times = sorted(run.execution_seconds for run in runs)
+    assert times[-1] > 10 * times[len(times) // 2]

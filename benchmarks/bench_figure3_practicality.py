@@ -1,0 +1,37 @@
+"""Figure 3 benchmark: inference latency, model size, training time."""
+
+from repro.experiments import figure3
+
+
+def test_figure3_report(context, benchmark):
+    methods = ("PessEst", "BayesCard", "DeepDB", "FLAT")
+    output = benchmark.pedantic(
+        figure3.run, args=(context, methods), rounds=1, iterations=1
+    )
+    print("\n" + output)
+
+
+def test_o8_bayescard_training_dominates(context, stats_records):
+    """O8: BayesCard trains much faster than the SPN/FSPN methods."""
+    bayescard = stats_records["BayesCard"].training_seconds
+    assert bayescard < stats_records["DeepDB"].training_seconds
+    assert bayescard < stats_records["FLAT"].training_seconds
+
+
+def test_bayescard_inference_fastest_of_pgms(context, stats_records):
+    def latency(name):
+        run = stats_records[name].run
+        subplans = sum(len(r.q_errors) for r in run.query_runs)
+        return sum(r.inference_seconds for r in run.query_runs) / max(subplans, 1)
+
+    assert latency("BayesCard") < latency("DeepDB")
+
+
+def test_estimate_latency_kernel(context, benchmark):
+    """Measured kernel: one BayesCard sub-plan estimate."""
+    estimator = context.fitted_estimator("BayesCard", "stats-ceb")
+    labeled = max(
+        context.workload("stats-ceb").queries, key=lambda q: q.query.num_tables
+    )
+    value = benchmark(estimator.estimate, labeled.query)
+    assert value >= 0.0

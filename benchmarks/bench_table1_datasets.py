@@ -1,0 +1,33 @@
+"""Table 1 benchmark: dataset generation and statistics.
+
+Regenerates the Table-1 comparison (and prints it), and measures the
+cost of building the STATS database and of the full-join-size
+computation that dominates the statistics pass.
+"""
+
+from repro.datasets.describe import describe, full_join_size
+from repro.datasets.stats_db import StatsConfig, build_stats
+from repro.experiments import table1
+
+
+def test_table1_report(context, benchmark):
+    output = benchmark.pedantic(table1.run, args=(context,), rounds=1, iterations=1)
+    print("\n" + output)
+    # The paper's directional claims must hold.
+    imdb = describe(context.database("imdb"))
+    stats = describe(context.database("stats"))
+    assert stats.full_join_size > imdb.full_join_size
+    assert stats.average_skewness > imdb.average_skewness
+    assert stats.average_correlation > imdb.average_correlation
+
+
+def test_build_stats_speed(benchmark):
+    config = StatsConfig().scaled(0.1)
+    database = benchmark(build_stats, config)
+    assert database.total_rows() > 0
+
+
+def test_full_join_size_speed(context, benchmark):
+    database = context.database("stats")
+    size = benchmark(full_join_size, database)
+    assert size > database.total_rows()

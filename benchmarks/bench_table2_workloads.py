@@ -1,0 +1,34 @@
+"""Table 2 benchmark: workload construction and statistics."""
+
+from repro.experiments import table2
+from repro.workloads.describe import describe
+from repro.workloads.generator import WorkloadSpec, build_workload
+from repro.workloads.templates import enumerate_templates
+
+
+def test_table2_report(context, benchmark):
+    output = benchmark.pedantic(table2.run, args=(context,), rounds=1, iterations=1)
+    print("\n" + output)
+    stats = describe(context.workload("stats-ceb"), context.database("stats").join_graph)
+    job = describe(context.workload("job-light"), context.database("imdb").join_graph)
+    assert stats.joined_tables[1] > job.joined_tables[1]
+    assert stats.join_types == "PK-FK/FK-FK"
+
+
+def test_template_enumeration_speed(context, benchmark):
+    graph = context.database("stats").join_graph
+    templates = benchmark(enumerate_templates, graph, 70, 1)
+    assert len(templates) == 70
+
+
+def test_query_labelling_speed(context, benchmark):
+    """Cost of generating + exactly labelling a small workload."""
+    database = context.database("stats")
+    templates = enumerate_templates(database.join_graph, 4, seed=11, max_tables=4)
+    spec = WorkloadSpec(name="bench", total_queries=4, seed=11, min_cardinality=1)
+
+    def build():
+        return build_workload(database, templates, spec)
+
+    workload = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(workload) == 4

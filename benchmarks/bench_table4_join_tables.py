@@ -1,0 +1,30 @@
+"""Table 4 benchmark: improvement by number of joined tables."""
+
+from repro.core.benchmark import abort_penalties
+from repro.experiments import table4
+from repro.experiments.table4 import BUCKETS, bucket_times
+
+
+def test_table4_report(context, benchmark):
+    methods = ("PessEst", "BayesCard", "DeepDB", "FLAT", "TrueCard")
+    output = benchmark.pedantic(
+        table4.run, args=(context, methods), rounds=1, iterations=1
+    )
+    print("\n" + output)
+
+
+def test_o4_gap_grows_with_join_count(context, stats_records):
+    """O4: TrueCard's advantage over PostgreSQL is larger on the
+    many-table buckets than on the 2-3 table bucket."""
+    penalties = abort_penalties(stats_records["TrueCard"].run)
+    postgres = bucket_times(stats_records["PostgreSQL"].run, penalties)
+    truecard = bucket_times(stats_records["TrueCard"].run, penalties)
+
+    def improvement(bucket):
+        if postgres[bucket] <= 0:
+            return 0.0
+        return 1.0 - truecard[bucket] / postgres[bucket]
+
+    small = improvement(BUCKETS[0])
+    large = max(improvement(BUCKETS[-1]), improvement(BUCKETS[-2]))
+    assert large >= small - 0.05

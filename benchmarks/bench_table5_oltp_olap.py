@@ -1,0 +1,23 @@
+"""Table 5 benchmark: OLTP/OLAP split of STATS-CEB."""
+
+from repro.core.workload_split import split_query_names, split_times
+from repro.experiments import table5
+
+
+def test_table5_report(context, benchmark):
+    methods = ("PostgreSQL", "TrueCard", "PessEst", "BayesCard", "DeepDB", "FLAT")
+    output = benchmark.pedantic(
+        table5.run, args=(context, methods), rounds=1, iterations=1
+    )
+    print("\n" + output)
+
+
+def test_o7_planning_share_larger_on_tp(context, stats_records):
+    """O7: planning time is a larger share of end-to-end time on the
+    TP half than on the AP half, for every method."""
+    baseline = stats_records["TrueCard"].run
+    tp_names, ap_names = split_query_names(baseline, quantile=0.75)
+    assert tp_names and ap_names
+    for name in ("PostgreSQL", "BayesCard", "DeepDB", "FLAT"):
+        aggregate = split_times(stats_records[name].run, tp_names)
+        assert aggregate.tp_planning_share >= aggregate.ap_planning_share, name

@@ -1,0 +1,53 @@
+"""Table 6 benchmark: update speed and accuracy after insertion."""
+
+import pytest
+
+from repro.core.update_bench import run_update_experiment
+from repro.datasets.stats_db import StatsConfig, build_stats
+from repro.experiments import table6
+
+
+def test_table6_report(context, benchmark):
+    methods = ("BayesCard", "DeepDB", "FLAT")
+    output = benchmark.pedantic(
+        table6.run, args=(context, methods), rounds=1, iterations=1
+    )
+    print("\n" + output)
+
+
+@pytest.fixture(scope="module")
+def update_results(context):
+    workload = context.workload("stats-ceb")
+    results = {}
+    for method in ("BayesCard", "DeepDB", "FLAT"):
+        database = build_stats(StatsConfig().scaled(context.config.scale))
+        results[method] = run_update_experiment(
+            database, workload, context.make_estimator(method)
+        )
+    return results
+
+
+def test_o10_bayescard_updates_fastest(update_results):
+    bayescard = update_results["BayesCard"].update_seconds
+    assert bayescard <= update_results["DeepDB"].update_seconds
+    assert bayescard <= update_results["FLAT"].update_seconds
+
+
+def test_updated_models_stay_usable(update_results):
+    for method, result in update_results.items():
+        run = result.run_after_update
+        assert run.aborted_count <= len(run.query_runs) // 4, method
+
+
+def test_bayescard_update_speed(context, benchmark):
+    """Measured kernel: BayesCard's incremental parameter update."""
+    from repro.datasets.stats_db import split_by_date
+
+    database = build_stats(StatsConfig().scaled(context.config.scale))
+    stale, new_rows = split_by_date(database)
+    estimator = context.make_estimator("BayesCard").fit(stale)
+    for name, delta in new_rows.items():
+        if delta.num_rows:
+            stale.insert(name, delta)
+
+    benchmark.pedantic(estimator.update, args=(new_rows,), rounds=1, iterations=1)

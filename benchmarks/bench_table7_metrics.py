@@ -1,0 +1,55 @@
+"""Table 7 benchmark: Q-Error vs P-Error."""
+
+import numpy as np
+
+from repro.core.benchmark import abort_penalties
+from repro.core.metrics import percentiles, rank_correlation
+from repro.experiments import table7
+
+
+def test_table7_report(context, benchmark):
+    methods = (
+        "PostgreSQL",
+        "TrueCard",
+        "MultiHist",
+        "UniSample",
+        "WJSample",
+        "PessEst",
+        "BayesCard",
+        "DeepDB",
+        "FLAT",
+    )
+    output = benchmark.pedantic(
+        table7.run, args=(context, methods), rounds=1, iterations=1
+    )
+    print("\n" + output)
+
+
+def test_o14_p_error_correlates_better(context, stats_records):
+    """O14: across methods, P-Error percentiles rank execution time
+    better than Q-Error percentiles do."""
+    penalties = abort_penalties(stats_records["TrueCard"].run)
+    names = [n for n in stats_records if n != "TrueCard"]
+    times = [
+        stats_records[n].run.total_execution_seconds(penalties) for n in names
+    ]
+    q90 = [percentiles(stats_records[n].run.all_q_errors())[90] for n in names]
+    p90 = [percentiles(stats_records[n].run.all_p_errors())[90] for n in names]
+    q_corr = rank_correlation(q90, times)
+    p_corr = rank_correlation(p90, times)
+    assert np.isfinite(p_corr)
+    assert p_corr >= q_corr - 0.05
+
+
+def test_p_error_computation_speed(context, benchmark):
+    """Measured kernel: P-Error for one heavy query."""
+    from repro.core.metrics import p_error
+
+    workload = context.workload("stats-ceb")
+    labeled = max(workload.queries, key=lambda q: q.query.num_tables)
+    true_cards = {s: float(c) for s, c in labeled.sub_plan_true_cards.items()}
+    noisy = {s: v * 3.0 for s, v in true_cards.items()}
+    planner = context.benchmark("stats-ceb").planner
+
+    value = benchmark(p_error, planner, labeled.query, noisy, true_cards)
+    assert value >= 1.0

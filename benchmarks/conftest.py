@@ -1,0 +1,36 @@
+"""Shared state for the benchmark suite.
+
+One :class:`ExperimentContext` (quick mode) is shared by every
+benchmark module; estimator evaluation passes are cached on disk under
+``.cache/experiments``, so repeated benchmark runs only pay the
+measurement they actually target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext(ExperimentConfig.quick())
+
+
+@pytest.fixture(scope="session")
+def stats_records(context):
+    """Evaluation passes of the core method set on STATS-CEB."""
+    names = (
+        "TrueCard",
+        "PostgreSQL",
+        "MultiHist",
+        "UniSample",
+        "WJSample",
+        "PessEst",
+        "BayesCard",
+        "DeepDB",
+        "FLAT",
+    )
+    return context.evaluate_all("stats-ceb", names)

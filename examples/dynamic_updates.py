@@ -1,0 +1,58 @@
+"""The dynamic-data scenario (paper Section 6.3, Table 6).
+
+Splits the STATS-like database at the 2014 timestamp boundary, trains
+stale models, inserts the newer half, and compares incremental update
+time and post-update plan quality between BayesCard (structure-
+preserving parameter refresh) and DeepDB (structure frozen at training
+time) — reproducing observation O10.
+
+Run with::
+
+    python examples/dynamic_updates.py
+"""
+
+from repro.core import percentiles
+from repro.core.report import format_seconds, render_table
+from repro.core.update_bench import run_update_experiment
+from repro.datasets.stats_db import StatsConfig, build_stats
+from repro.estimators.datad import BayesCardEstimator, DeepDBEstimator
+from repro.workloads import build_stats_ceb
+
+
+def main() -> None:
+    config = StatsConfig().scaled(0.1)
+    workload = build_stats_ceb(
+        build_stats(config), num_queries=25, num_templates=12, max_cardinality=500_000
+    )
+
+    rows = []
+    for estimator in (BayesCardEstimator(), DeepDBEstimator()):
+        database = build_stats(config)  # fresh copy; the experiment mutates it
+        result = run_update_experiment(database, workload, estimator)
+        p = percentiles(result.run_after_update.all_p_errors())
+        rows.append(
+            [
+                result.estimator_name,
+                format_seconds(result.training_seconds),
+                format_seconds(result.update_seconds),
+                f"{p[50]:.2f} / {p[90]:.2f}",
+            ]
+        )
+
+    print(
+        render_table(
+            ["Method", "Stale-model training", "Update time", "P-Error 50/90% after update"],
+            rows,
+            title="Dynamic updates (insert everything created after 2014)",
+        )
+    )
+    print(
+        "\nBayesCard preserves its Bayesian-network structure and only\n"
+        "refreshes CPT counts, so it updates fastest and keeps its accuracy;\n"
+        "SPN-based models refresh parameters under a structure learned on\n"
+        "stale data — the accuracy drop the paper records in Table 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""A tour of all fourteen estimators on one multi-join query.
+
+Fits every method the paper evaluates (traditional, query-driven ML,
+data-driven ML, hybrid) on a reduced STATS database and prints their
+estimate for the same 4-way join — a compact view of the accuracy
+spectrum behind Table 3.
+
+Run with::
+
+    python examples/estimator_tour.py
+"""
+
+import time
+
+from repro.core import TrueCardinalityService
+from repro.core.metrics import q_error
+from repro.core.report import format_count, render_table
+from repro.datasets.stats_db import StatsConfig, build_stats
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+from repro.estimators.base import QueryDrivenEstimator
+from repro.estimators.datad import (
+    BayesCardEstimator,
+    DeepDBEstimator,
+    FlatEstimator,
+    NeuroCardEstimator,
+)
+from repro.estimators.multihist import MultiHistEstimator
+from repro.estimators.pessest import PessimisticEstimator
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.queryd import LWNNEstimator, LWXGBEstimator, MSCNEstimator
+from repro.estimators.unisample import UniSampleEstimator
+from repro.estimators.wjsample import WanderJoinEstimator
+from repro.workloads.training import build_training_workload, flatten_to_examples
+
+
+def main() -> None:
+    database = build_stats(StatsConfig().scaled(0.1))
+    graph = database.join_graph
+
+    query = Query(
+        tables=frozenset({"users", "posts", "comments", "votes"}),
+        join_edges=(
+            graph.edges_between("users", "posts")[0],
+            graph.edges_between("posts", "comments")[0],
+            graph.edges_between("posts", "votes")[0],
+        ),
+        predicates=(
+            Predicate("users", "Reputation", ">=", 100),
+            Predicate("posts", "Score", ">=", 5),
+            Predicate("votes", "VoteTypeId", "=", 2),
+        ),
+        name="tour",
+    )
+    truth = TrueCardinalityService(database).cardinality(query)
+    print(f"Query: {query.to_sql()}")
+    print(f"True cardinality: {format_count(truth)}\n")
+
+    print("Generating training queries for the query-driven methods...")
+    examples = flatten_to_examples(
+        build_training_workload(database, num_queries=60, max_cardinality=500_000)
+    )
+
+    estimators = [
+        PostgresEstimator(),
+        MultiHistEstimator(),
+        UniSampleEstimator(),
+        WanderJoinEstimator(),
+        PessimisticEstimator(),
+        MSCNEstimator(epochs=15),
+        LWXGBEstimator(num_trees=60),
+        LWNNEstimator(epochs=30),
+        NeuroCardEstimator(num_samples=2_000, epochs=3),
+        BayesCardEstimator(),
+        DeepDBEstimator(),
+        FlatEstimator(),
+    ]
+
+    rows = []
+    for estimator in estimators:
+        started = time.perf_counter()
+        estimator.fit(database)
+        if isinstance(estimator, QueryDrivenEstimator):
+            estimator.fit_queries(examples)
+        fit_seconds = time.perf_counter() - started
+        estimate = estimator.estimate(query)
+        rows.append(
+            [
+                estimator.name,
+                format_count(estimate),
+                f"{q_error(estimate, truth):.2f}",
+                f"{fit_seconds:.2f}s",
+            ]
+        )
+    print(
+        render_table(
+            ["Method", "Estimate", "Q-Error", "Fit time"],
+            rows,
+            title=f"All estimators on one 4-way join (truth = {format_count(truth)})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

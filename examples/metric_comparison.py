@@ -1,0 +1,69 @@
+"""Why P-Error, not Q-Error (paper Section 7, observations O12/O13).
+
+Constructs estimate vectors with *identical* Q-Error but different
+plan consequences, and shows that P-Error — costing the induced plan
+under the true cardinalities — tells them apart while Q-Error cannot.
+
+Run with::
+
+    python examples/metric_comparison.py
+"""
+
+from repro.core import TrueCardinalityService, p_error, q_error
+from repro.core.report import render_table
+from repro.datasets.stats_db import StatsConfig, build_stats
+from repro.engine.planner import Planner
+from repro.workloads import build_stats_ceb
+
+
+def main() -> None:
+    database = build_stats(StatsConfig().scaled(0.1))
+    workload = build_stats_ceb(
+        database, num_queries=25, num_templates=12, max_cardinality=500_000
+    )
+    planner = Planner(database)
+    service = TrueCardinalityService(database)
+
+    # The heaviest query of the workload is where estimates matter (O5).
+    labeled = max(workload.queries, key=lambda q: q.true_cardinality)
+    query = labeled.query
+    true_cards = {s: float(c) for s, c in labeled.sub_plan_true_cards.items()}
+
+    scenarios = {
+        "exact": true_cards,
+        "10x under-estimation": {s: v / 10 for s, v in true_cards.items()},
+        "10x over-estimation": {s: v * 10 for s, v in true_cards.items()},
+        "wrong only at the root": {
+            s: (v / 50 if s == query.tables else v) for s, v in true_cards.items()
+        },
+        "wrong only on single tables": {
+            s: (v / 50 if len(s) == 1 else v) for s, v in true_cards.items()
+        },
+    }
+
+    rows = []
+    for label, estimates in scenarios.items():
+        q90 = sorted(
+            q_error(estimates[s], true_cards[s]) for s in true_cards
+        )[int(0.9 * (len(true_cards) - 1))]
+        perr = p_error(planner, query, estimates, true_cards)
+        rows.append([label, f"{q90:.1f}", f"{perr:.3f}"])
+
+    print(f"Case study query: {query.name} ({query.num_tables} tables)")
+    print(f"  {query.to_sql()}\n")
+    print(
+        render_table(
+            ["Estimate scenario", "Q-Error (90%)", "P-Error"],
+            rows,
+            title="Identical-looking Q-Errors, different plan quality",
+        )
+    )
+    print(
+        "\nQ-Error treats 10x under- and over-estimation identically (O13)\n"
+        "and weighs every sub-plan equally (O12); P-Error exposes exactly\n"
+        "which mistakes actually change the plan the optimizer picks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""How cardinality estimates shape physical plans (O5/O6 demo).
+
+Plans one multi-join query three times — under exact cardinalities,
+under systematic under-estimation, and under systematic
+over-estimation — and prints the EXPLAIN ANALYZE output of each, so
+the operator flips (hash join → index nested loop) and their runtime
+consequences are directly visible.
+
+Run with::
+
+    python examples/plan_surgery.py
+"""
+
+from repro.core import TrueCardinalityService
+from repro.datasets.stats_db import StatsConfig, build_stats
+from repro.engine.explain import explain
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+
+
+def main() -> None:
+    database = build_stats(StatsConfig().scaled(0.1))
+    graph = database.join_graph
+    query = Query(
+        tables=frozenset({"users", "posts", "comments"}),
+        join_edges=(
+            graph.edges_between("users", "posts")[0],
+            graph.edges_between("posts", "comments")[0],
+        ),
+        predicates=(Predicate("users", "Reputation", ">=", 50),),
+        name="surgery",
+    )
+    true_cards = {
+        s: float(c)
+        for s, c in TrueCardinalityService(database).sub_plan_cards(query).items()
+    }
+
+    scenarios = {
+        "exact cardinalities": true_cards,
+        "100x under-estimation": {s: max(v / 100, 1.0) for s, v in true_cards.items()},
+        "100x over-estimation": {s: v * 100 for s, v in true_cards.items()},
+    }
+    for label, cards in scenarios.items():
+        print(f"=== {label} " + "=" * max(0, 50 - len(label)))
+        result = explain(database, query, cards, analyze=True)
+        print(result.text)
+        print()
+
+    print(
+        "Under-estimation makes every intermediate look tiny, so the\n"
+        "planner reaches for index nested loops — which then run against\n"
+        "the *actual* row counts.  Over-estimation is the safer failure\n"
+        "mode: hash joins everywhere (the asymmetry behind PessEst's\n"
+        "never-under-estimate design)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Quickstart: benchmark two estimators end to end.
+
+Builds a small STATS-like database, generates a labelled workload,
+runs the PostgreSQL-style baseline and BayesCard through the
+plan-inject-execute pipeline, and prints the comparison the benchmark
+is built around.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import EndToEndBenchmark, abort_penalties, percentiles
+from repro.core.report import format_improvement, format_seconds, render_table
+from repro.datasets.stats_db import StatsConfig, build_stats
+from repro.estimators.datad import BayesCardEstimator
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.truecard import TrueCardEstimator
+from repro.workloads import build_stats_ceb
+
+
+def main() -> None:
+    print("Building the STATS-like database (reduced scale)...")
+    database = build_stats(StatsConfig().scaled(0.1))
+    print(f"  {len(database.tables)} tables, {database.total_rows():,} rows")
+
+    print("Generating + labelling a STATS-CEB-style workload...")
+    workload = build_stats_ceb(
+        database, num_queries=30, num_templates=15, max_cardinality=500_000
+    )
+    low, high = workload.cardinality_range()
+    print(f"  {len(workload)} queries, true cardinalities {low:,} .. {high:,}")
+
+    benchmark = EndToEndBenchmark(database, workload)
+    rows = []
+    baseline_total = None
+    penalties = None
+    for estimator in (
+        TrueCardEstimator(),
+        PostgresEstimator(),
+        BayesCardEstimator(),
+    ):
+        estimator.fit(database)
+        run = benchmark.run(estimator)
+        if penalties is None:
+            penalties = abort_penalties(run)
+        total = run.total_end_to_end_seconds(penalties)
+        if estimator.name == "PostgreSQL":
+            baseline_total = total
+        q = percentiles(run.all_q_errors())
+        p = percentiles(run.all_p_errors())
+        rows.append(
+            [
+                estimator.name,
+                format_seconds(total, run.aborted_count > 0),
+                f"{q[50]:.2f} / {q[90]:.1f}",
+                f"{p[50]:.2f} / {p[90]:.2f}",
+            ]
+        )
+    for row in rows:
+        row.append(
+            format_improvement(baseline_total, _parse(row[1]))
+            if baseline_total
+            else "n/a"
+        )
+
+    print()
+    print(
+        render_table(
+            ["Method", "End-to-end", "Q-Error 50/90%", "P-Error 50/90%", "vs PostgreSQL"],
+            rows,
+            title="Quickstart results",
+        )
+    )
+
+
+def _parse(rendered: str) -> float:
+    value = rendered.lstrip("> ")
+    if value.endswith("ms"):
+        return float(value[:-2]) / 1000
+    if value.endswith("h"):
+        return float(value[:-1]) * 3600
+    if value.endswith("m"):
+        return float(value[:-1]) * 60
+    return float(value[:-1])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — reproduction of "Cardinality Estimation in DBMS: A
+Comprehensive Benchmark Evaluation" (VLDB 2021).
+
+The package provides, end to end:
+
+- a mini-DBMS substrate with a cost-based, cardinality-injectable
+  planner and a real executor (:mod:`repro.engine`);
+- the STATS / simplified-IMDB benchmark databases
+  (:mod:`repro.datasets`) and the STATS-CEB / JOB-LIGHT workloads
+  (:mod:`repro.workloads`);
+- fourteen cardinality estimators across the traditional,
+  query-driven-ML and data-driven-ML families
+  (:mod:`repro.estimators`);
+- the evaluation platform: sub-plan injection, end-to-end timing,
+  Q-Error and P-Error (:mod:`repro.core`);
+- scripts regenerating every table and figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import build_stats, build_stats_ceb, EndToEndBenchmark
+    from repro.estimators.postgres import PostgresEstimator
+
+    db = build_stats()
+    workload = build_stats_ceb(db)
+    bench = EndToEndBenchmark(db, workload)
+    run = bench.run(PostgresEstimator().fit(db))
+    print(run.total_end_to_end_seconds())
+"""
+
+from repro.core import EndToEndBenchmark, TrueCardinalityService, p_error, q_error
+from repro.datasets import build_imdb_light, build_stats
+from repro.engine import Database, Planner, Query
+from repro.workloads import build_job_light, build_stats_ceb
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Database",
+    "EndToEndBenchmark",
+    "Planner",
+    "Query",
+    "TrueCardinalityService",
+    "build_imdb_light",
+    "build_job_light",
+    "build_stats",
+    "build_stats_ceb",
+    "p_error",
+    "q_error",
+    "__version__",
+]

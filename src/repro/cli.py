@@ -1,0 +1,154 @@
+"""Command-line interface to the benchmark platform.
+
+Examples::
+
+    python -m repro.cli info --database stats
+    python -m repro.cli explain --database stats \\
+        --sql "SELECT COUNT(*) FROM users, posts WHERE users.Id = posts.OwnerUserId"
+    python -m repro.cli run-query --database stats --estimator BayesCard \\
+        --sql "SELECT COUNT(*) FROM users, posts WHERE users.Id = posts.OwnerUserId AND users.Reputation >= 100"
+    python -m repro.cli export-workload --workload stats-ceb --out stats_ceb.sql
+    python -m repro.cli export-csv --database stats --out ./stats_csv
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.core.injection import estimate_sub_plans
+from repro.core.truecards import TrueCardinalityService
+from repro.datasets.describe import describe
+from repro.datasets.io import export_csv
+from repro.engine.explain import explain
+from repro.engine.sql import parse_query
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ESTIMATOR_ORDER, ExperimentContext
+
+
+def _context(args) -> ExperimentContext:
+    return ExperimentContext(ExperimentConfig.named(args.mode))
+
+
+def cmd_info(args) -> int:
+    context = _context(args)
+    summary = describe(context.database(args.database))
+    print(f"Dataset: {summary.name}")
+    print(f"  tables:              {summary.num_tables}")
+    print(f"  n./c. attributes:    {summary.num_attributes} "
+          f"({summary.attributes_per_table[0]}-{summary.attributes_per_table[1]} per table)")
+    print(f"  full join size:      {summary.full_join_size:.3e}")
+    print(f"  total domain size:   {summary.total_domain_size}")
+    print(f"  avg skewness:        {summary.average_skewness:.3f}")
+    print(f"  avg correlation:     {summary.average_correlation:.3f}")
+    print(f"  join forms:          {summary.join_forms}")
+    print(f"  join relations:      {summary.num_join_relations}")
+    return 0
+
+
+def _parse_cli_query(context: ExperimentContext, args):
+    database = context.database(args.database)
+    return database, parse_query(args.sql, database.join_graph, name="cli")
+
+
+def cmd_explain(args) -> int:
+    context = _context(args)
+    database, query = _parse_cli_query(context, args)
+    estimator = context.fitted_estimator(args.estimator, _workload_for(args.database))
+    cards = estimate_sub_plans(estimator, query)
+    result = explain(database, query, cards, analyze=False)
+    print(result.text)
+    return 0
+
+
+def cmd_run_query(args) -> int:
+    context = _context(args)
+    database, query = _parse_cli_query(context, args)
+    estimator = context.fitted_estimator(args.estimator, _workload_for(args.database))
+    cards = estimate_sub_plans(estimator, query)
+    result = explain(database, query, cards, analyze=True)
+    print(result.text)
+    if args.truth and result.actual_rows is not None:
+        truth = TrueCardinalityService(database).cardinality(query)
+        print(f"True cardinality: {truth} (estimator said {result.estimated_rows:.0f})")
+    return 0
+
+
+def cmd_export_workload(args) -> int:
+    from repro.workloads.sql_io import export_workload
+
+    context = _context(args)
+    workload = context.workload(args.workload)
+    export_workload(workload, Path(args.out))
+    print(f"Wrote {len(workload)} queries to {args.out}")
+    return 0
+
+
+def cmd_export_csv(args) -> int:
+    context = _context(args)
+    database = context.database(args.database)
+    export_csv(database, Path(args.out))
+    print(f"Wrote {len(database.tables)} tables ({database.total_rows():,} rows) to {args.out}")
+    return 0
+
+
+def _workload_for(database: str) -> str:
+    return "stats-ceb" if database == "stats" else "job-light"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--mode", default="quick", choices=["quick", "full"], help="asset scale"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="dataset statistics (Table 1 style)")
+    info.add_argument("--database", default="stats", choices=["stats", "imdb"])
+    info.set_defaults(handler=cmd_info)
+
+    for name, handler, analyze_help in (
+        ("explain", cmd_explain, "plan a query without executing it"),
+        ("run-query", cmd_run_query, "plan, execute and show actual rows"),
+    ):
+        sub = commands.add_parser(name, help=analyze_help)
+        sub.add_argument("--database", default="stats", choices=["stats", "imdb"])
+        sub.add_argument("--sql", required=True, help="benchmark-dialect SQL")
+        sub.add_argument(
+            "--estimator",
+            default="PostgreSQL",
+            choices=list(ESTIMATOR_ORDER),
+            help="CardEst method whose estimates drive the plan",
+        )
+        if name == "run-query":
+            sub.add_argument(
+                "--truth",
+                action="store_true",
+                help="also compute the exact cardinality",
+            )
+        sub.set_defaults(handler=handler)
+
+    export_wl = commands.add_parser(
+        "export-workload", help="write a labelled workload as annotated SQL"
+    )
+    export_wl.add_argument("--workload", default="stats-ceb", choices=["stats-ceb", "job-light"])
+    export_wl.add_argument("--out", required=True)
+    export_wl.set_defaults(handler=cmd_export_workload)
+
+    export_data = commands.add_parser(
+        "export-csv", help="dump a benchmark database as CSV files"
+    )
+    export_data.add_argument("--database", default="stats", choices=["stats", "imdb"])
+    export_data.add_argument("--out", required=True)
+    export_data.set_defaults(handler=cmd_export_csv)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""The end-to-end benchmark driver (the paper's Section 4.2 platform).
+
+For every workload query and estimator:
+
+1. derive the sub-plan query space and collect the estimator's
+   cardinality for each sub-plan (*inference time*),
+2. inject the estimates into the DP planner and plan (*planning
+   time*),
+3. execute the chosen physical plan (*execution time*), and
+4. compute Q-Errors (per sub-plan) and the P-Error of the plan.
+
+Executions whose intermediate results blow past the row budget are
+recorded as aborted — the analog of the paper's "> 25h" entries — and
+aggregate reports either flag them or substitute a penalty time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.injection import estimate_sub_plans
+from repro.core.metrics import p_error, q_error
+from repro.engine.database import Database
+from repro.engine.executor import ExecutionAborted, Executor
+from repro.engine.planner import Planner
+from repro.engine.plans import join_order_signature, plan_methods
+from repro.engine.query import LabeledQuery
+from repro.estimators.base import CardinalityEstimator
+from repro.estimators.truecard import TrueCardEstimator
+from repro.workloads.generator import Workload
+
+
+@dataclass
+class QueryRun:
+    """Measurements for one (estimator, query) pair."""
+
+    query_name: str
+    num_tables: int
+    inference_seconds: float
+    planning_seconds: float
+    execution_seconds: float
+    aborted: bool
+    result_cardinality: int
+    p_error: float
+    q_errors: list[float] = field(default_factory=list)
+    join_order: tuple = ()
+    methods: list[str] = field(default_factory=list)
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        return self.inference_seconds + self.planning_seconds + self.execution_seconds
+
+
+@dataclass
+class EstimatorRun:
+    """All query runs of one estimator over one workload."""
+
+    estimator_name: str
+    workload_name: str
+    query_runs: list[QueryRun] = field(default_factory=list)
+
+    @property
+    def aborted_count(self) -> int:
+        return sum(1 for run in self.query_runs if run.aborted)
+
+    def total_execution_seconds(self, penalty: dict[str, float] | None = None) -> float:
+        """Sum of execution times; aborted runs take their penalty."""
+        total = 0.0
+        for run in self.query_runs:
+            if run.aborted and penalty is not None:
+                total += penalty.get(run.query_name, run.execution_seconds)
+            else:
+                total += run.execution_seconds
+        return total
+
+    def total_planning_seconds(self) -> float:
+        return sum(r.inference_seconds + r.planning_seconds for r in self.query_runs)
+
+    def total_end_to_end_seconds(self, penalty: dict[str, float] | None = None) -> float:
+        return self.total_execution_seconds(penalty) + self.total_planning_seconds()
+
+    def all_q_errors(self) -> list[float]:
+        return [q for run in self.query_runs for q in run.q_errors]
+
+    def all_p_errors(self) -> list[float]:
+        return [run.p_error for run in self.query_runs]
+
+
+def abort_penalties(
+    baseline: EstimatorRun,
+    factor: float = 10.0,
+    floor_seconds: float = 1.0,
+) -> dict[str, float]:
+    """Per-query penalty times for aborted executions.
+
+    An aborted execution is 'too slow to finish'; we charge ``factor``
+    times the baseline (TrueCard) execution time of the same query —
+    conservative relative to the paper, where such queries simply time
+    out the whole workload run.
+    """
+    return {
+        run.query_name: max(run.execution_seconds * factor, floor_seconds)
+        for run in baseline.query_runs
+    }
+
+
+class EndToEndBenchmark:
+    """Runs estimators through plan-inject-execute on a workload."""
+
+    def __init__(
+        self,
+        database: Database,
+        workload: Workload,
+        max_intermediate_rows: int = 20_000_000,
+        timeout_seconds: float | None = 120.0,
+        compute_q_errors: bool = True,
+        compute_p_errors: bool = True,
+        repetitions: int = 1,
+    ):
+        self._database = database
+        self.workload = workload
+        self._planner = Planner(database)
+        self._executor = Executor(
+            database,
+            max_intermediate_rows=max_intermediate_rows,
+            timeout_seconds=timeout_seconds,
+        )
+        self._compute_q = compute_q_errors
+        self._compute_p = compute_p_errors
+        #: execute each plan this many times and keep the fastest run —
+        #: suppresses cache/warm-up noise when comparing close methods.
+        self._repetitions = max(1, repetitions)
+
+    @property
+    def planner(self) -> Planner:
+        return self._planner
+
+    def run(
+        self,
+        estimator: CardinalityEstimator,
+        queries: list[LabeledQuery] | None = None,
+    ) -> EstimatorRun:
+        """Benchmark ``estimator`` over the workload (or a subset)."""
+        if isinstance(estimator, TrueCardEstimator):
+            for labeled in self.workload.queries:
+                estimator.preload_labeled(labeled)
+        result = EstimatorRun(
+            estimator_name=estimator.name,
+            workload_name=self.workload.name,
+        )
+        for labeled in queries if queries is not None else self.workload.queries:
+            result.query_runs.append(self._run_query(estimator, labeled))
+        return result
+
+    def _run_query(
+        self,
+        estimator: CardinalityEstimator,
+        labeled: LabeledQuery,
+    ) -> QueryRun:
+        query = labeled.query
+        true_cards = {
+            subset: float(count)
+            for subset, count in labeled.sub_plan_true_cards.items()
+        }
+
+        started = time.perf_counter()
+        estimates = estimate_sub_plans(estimator, query)
+        inference_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        planned = self._planner.plan(query, estimates)
+        planning_seconds = time.perf_counter() - started
+
+        q_errors = []
+        if self._compute_q:
+            q_errors = [
+                q_error(estimates[subset], true_cards[subset])
+                for subset in estimates
+            ]
+        perr = (
+            p_error(self._planner, query, estimates, true_cards)
+            if self._compute_p
+            else float("nan")
+        )
+
+        aborted = False
+        cardinality = -1
+        started = time.perf_counter()
+        try:
+            execution = self._executor.execute(planned.plan)
+            execution_seconds = execution.elapsed_seconds
+            cardinality = execution.cardinality
+            for _ in range(self._repetitions - 1):
+                execution = self._executor.execute(planned.plan)
+                execution_seconds = min(execution_seconds, execution.elapsed_seconds)
+        except ExecutionAborted:
+            aborted = True
+            execution_seconds = time.perf_counter() - started
+
+        return QueryRun(
+            query_name=query.name,
+            num_tables=query.num_tables,
+            inference_seconds=inference_seconds,
+            planning_seconds=planning_seconds,
+            execution_seconds=execution_seconds,
+            aborted=aborted,
+            result_cardinality=cardinality,
+            p_error=perr,
+            q_errors=q_errors,
+            join_order=join_order_signature(planned.plan),
+            methods=plan_methods(planned.plan),
+        )

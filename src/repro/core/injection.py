@@ -1,0 +1,67 @@
+"""Sub-plan query space and cardinality injection.
+
+Section 4.2 of the paper: for a query joining tables ``A, B, C`` the
+*sub-plan query space* contains the queries on every connected subset
+(``A``, ``B``, ``C``, ``A ⋈ B``, ...), each with the filter predicates
+that fall inside the subset.  The built-in planner needs a cardinality
+for each of them; the benchmark captures the space, asks a CardEst
+method for every estimate, and injects the results back — here, as the
+``cards`` mapping consumed by :class:`repro.engine.planner.Planner`.
+"""
+
+from __future__ import annotations
+
+from repro.engine.query import Query
+
+
+def sub_plan_sets(query: Query) -> list[frozenset[str]]:
+    """All connected table subsets of ``query``, smallest first.
+
+    Connectivity is evaluated over the query's own join edges.  The
+    result is deterministic (sorted by size, then lexicographically).
+    """
+    tables = sorted(query.tables)
+    bit_of = {name: 1 << i for i, name in enumerate(tables)}
+    adjacency = {name: 0 for name in tables}
+    for edge in query.join_edges:
+        adjacency[edge.left] |= bit_of[edge.right]
+        adjacency[edge.right] |= bit_of[edge.left]
+
+    def is_connected(mask: int) -> bool:
+        seen = mask & -mask
+        frontier = seen
+        while frontier:
+            reachable = 0
+            m = frontier
+            while m:
+                bit = m & -m
+                m ^= bit
+                reachable |= adjacency[tables[bit.bit_length() - 1]] & mask
+            frontier = reachable & ~seen
+            seen |= frontier
+        return seen == mask
+
+    subsets = []
+    for mask in range(1, 1 << len(tables)):
+        if is_connected(mask):
+            subsets.append(frozenset(name for name in tables if bit_of[name] & mask))
+    subsets.sort(key=lambda s: (len(s), tuple(sorted(s))))
+    return subsets
+
+
+def sub_plan_queries(query: Query) -> dict[frozenset[str], Query]:
+    """The sub-plan query for every connected subset of ``query``."""
+    return {subset: query.subquery(subset) for subset in sub_plan_sets(query)}
+
+
+def estimate_sub_plans(estimator, query: Query) -> dict[frozenset[str], float]:
+    """Ask ``estimator`` for the cardinality of every sub-plan query.
+
+    This is the benchmark's injection step: the returned mapping is
+    handed directly to the planner.  Estimates are clamped to at least
+    one row, matching PostgreSQL's behaviour.
+    """
+    cards = {}
+    for subset, subquery in sub_plan_queries(query).items():
+        cards[subset] = max(1.0, float(estimator.estimate(subquery)))
+    return cards

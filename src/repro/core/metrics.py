@@ -1,0 +1,69 @@
+"""CardEst quality metrics: Q-Error and the paper's proposed P-Error.
+
+Q-Error (Moerkotte et al.) measures per-(sub-plan-)query relative
+error; Section 7 of the paper shows it cannot rank estimators by the
+query plans they produce.  P-Error fixes this by costing the plan an
+estimator *actually* induces under the true cardinalities:
+
+    P-Error = PPC(P(C_est), C_true) / PPC(P(C_true), C_true)
+
+where ``P(C)`` is the plan the optimizer picks when fed cardinalities
+``C`` and ``PPC`` is the cost model's estimate of a plan's cost under
+the injected cardinalities — our engine's analog of the PostgreSQL
+plan cost the paper computes through ``pg_hint_plan``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.planner import Planner
+from repro.engine.query import Query
+
+
+def q_error(estimate: float, true_cardinality: float) -> float:
+    """max(est/true, true/est), both clamped to >= 1 row."""
+    estimate = max(float(estimate), 1.0)
+    true_cardinality = max(float(true_cardinality), 1.0)
+    return max(estimate / true_cardinality, true_cardinality / estimate)
+
+
+def p_error(
+    planner: Planner,
+    query: Query,
+    estimated_cards: dict[frozenset[str], float],
+    true_cards: dict[frozenset[str], float],
+) -> float:
+    """P-Error of one query given full sub-plan cardinality maps."""
+    estimated_plan = planner.plan(query, estimated_cards).plan
+    true_plan = planner.plan(query, true_cards).plan
+    cost_of_estimated = planner.cost_model.plan_cost(estimated_plan, true_cards)
+    cost_of_true = planner.cost_model.plan_cost(true_plan, true_cards)
+    return max(cost_of_estimated / max(cost_of_true, 1e-12), 1e-12)
+
+
+def percentiles(
+    values: list[float],
+    points: tuple[int, ...] = (50, 90, 99),
+) -> dict[int, float]:
+    """Selected percentiles of a metric distribution."""
+    if not values:
+        return {p: float("nan") for p in points}
+    array = np.asarray(values, dtype=np.float64)
+    return {p: float(np.percentile(array, p)) for p in points}
+
+
+def rank_correlation(x: list[float], y: list[float]) -> float:
+    """Spearman rank correlation between two metric series.
+
+    Used for the paper's O14: P-Error percentiles correlate with
+    execution time far better than Q-Error percentiles do.
+    """
+    if len(x) != len(y) or len(x) < 3:
+        return float("nan")
+    if np.ptp(x) == 0 or np.ptp(y) == 0:
+        return float("nan")
+    from scipy import stats as scipy_stats
+
+    result = scipy_stats.spearmanr(x, y)
+    return float(result.statistic)

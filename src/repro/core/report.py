@@ -1,0 +1,83 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark scripts print tables shaped like the paper's; these
+helpers keep formatting consistent (fixed-width columns, ``> x``
+markers for aborted workloads, h/m/s time units).
+"""
+
+from __future__ import annotations
+
+
+def format_seconds(seconds: float, aborted: bool = False) -> str:
+    """Human-friendly duration; aborted aggregates are lower bounds."""
+    prefix = "> " if aborted else ""
+    if seconds >= 3600:
+        return f"{prefix}{seconds / 3600:.2f}h"
+    if seconds >= 60:
+        return f"{prefix}{seconds / 60:.2f}m"
+    if seconds >= 1:
+        return f"{prefix}{seconds:.2f}s"
+    return f"{prefix}{seconds * 1000:.0f}ms"
+
+
+def format_improvement(baseline_seconds: float, seconds: float) -> str:
+    if baseline_seconds <= 0:
+        return "n/a"
+    return f"{100.0 * (1.0 - seconds / baseline_seconds):+.1f}%"
+
+
+def format_count(value: float) -> str:
+    """Scientific-ish rendering of cardinalities and large counts."""
+    if value >= 1e6:
+        return f"{value:.2e}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def format_bytes(num_bytes: int) -> str:
+    if num_bytes >= 1 << 20:
+        return f"{num_bytes / (1 << 20):.1f}MB"
+    if num_bytes >= 1 << 10:
+        return f"{num_bytes / (1 << 10):.1f}KB"
+    return f"{num_bytes}B"
+
+
+def render_bars(
+    labels: list[str],
+    values: list[float],
+    title: str = "",
+    width: int = 40,
+    formatter=format_seconds,
+) -> str:
+    """ASCII horizontal bar chart (Figure-3 style panels).
+
+    Bars are scaled to the maximum value; zero/negative values render
+    as empty bars.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [title] if title else []
+    label_width = max((len(label) for label in labels), default=0)
+    peak = max((v for v in values if v > 0), default=1.0)
+    for label, value in zip(labels, values):
+        filled = int(round(width * max(value, 0.0) / peak))
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)}  {bar.ljust(width)} {formatter(value)}")
+    return "\n".join(lines)
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Fixed-width table with a separator under the header."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(h for h in headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

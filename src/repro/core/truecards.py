@@ -1,0 +1,87 @@
+"""Exact cardinalities for queries and their sub-plan spaces.
+
+``TrueCardinalityService`` is the workhorse behind the ``TrueCard``
+baseline, workload labelling, Q-Error denominators and the true-card
+term of P-Error.  Sub-plan cardinalities are computed bottom-up:
+smaller subsets are counted first so that the plan used to count a
+larger subset is already driven by exact cardinalities (i.e. near
+optimal), keeping the computation fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.injection import sub_plan_sets
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.engine.planner import Planner
+from repro.engine.predicates import conjunction_mask
+from repro.engine.query import Query
+
+
+class TrueCardinalityService:
+    """Computes and caches exact (sub-plan) cardinalities."""
+
+    def __init__(
+        self,
+        database: Database,
+        max_intermediate_rows: int = 20_000_000,
+    ):
+        self._database = database
+        self._planner = Planner(database)
+        self._executor = Executor(database, max_intermediate_rows=max_intermediate_rows)
+        self._cache: dict[tuple, int] = {}
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    def invalidate(self) -> None:
+        """Drop all cached counts (call after data updates)."""
+        self._cache.clear()
+
+    # -- public API ------------------------------------------------------------
+
+    def cardinality(self, query: Query) -> int:
+        """Exact result cardinality of ``query``."""
+        key = query.key()
+        if key not in self._cache:
+            self.sub_plan_cards(query)
+        return self._cache[key]
+
+    def sub_plan_cards(self, query: Query) -> dict[frozenset[str], int]:
+        """Exact cardinality of every sub-plan query of ``query``."""
+        result: dict[frozenset[str], int] = {}
+        partial: dict[frozenset[str], float] = {}
+        for subset in sub_plan_sets(query):
+            subquery = query.subquery(subset)
+            key = subquery.key()
+            if key in self._cache:
+                count = self._cache[key]
+            elif len(subset) == 1:
+                count = self._single_table_count(subquery)
+                self._cache[key] = count
+            else:
+                count = self._joined_count(subquery, partial)
+                self._cache[key] = count
+            result[subset] = count
+            partial[subset] = float(count)
+        return result
+
+    # -- internals ----------------------------------------------------------------
+
+    def _single_table_count(self, query: Query) -> int:
+        table_name = next(iter(query.tables))
+        table = self._database.tables[table_name]
+        mask = conjunction_mask(table, list(query.predicates))
+        return int(np.count_nonzero(mask))
+
+    def _joined_count(self, query: Query, partial: dict[frozenset[str], float]) -> int:
+        # The output cardinality of the subset itself is still unknown;
+        # it is identical across all candidate plans for the subset, so
+        # any placeholder yields the same plan choice.
+        cards = dict(partial)
+        cards[query.tables] = 0.0
+        planned = self._planner.plan(query, cards)
+        return self._executor.count(planned.plan)

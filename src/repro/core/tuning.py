@@ -1,0 +1,92 @@
+"""Hyper-parameter tuning against end-to-end metrics (paper §4.1).
+
+The paper's Remarks describe running "a grid search to explore the
+combination of [hyper-parameter] values that largely improves the
+end-to-end performance on a validation set of queries".  This module
+implements exactly that: configurations are scored by their P-Error
+distribution over a validation workload (P-Error being the paper's
+fast proxy for end-to-end time — Section 7.2 motivates it precisely
+for "situations where fast evaluation is needed, e.g., hyper-parameter
+tuning").
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.injection import estimate_sub_plans
+from repro.core.metrics import p_error
+from repro.engine.database import Database
+from repro.engine.planner import Planner
+from repro.workloads.generator import Workload
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one grid search."""
+
+    best_params: dict
+    best_score: float
+    trials: list[tuple[dict, float]] = field(default_factory=list)
+    seconds: float = 0.0
+
+
+def score_estimator(
+    estimator,
+    database: Database,
+    validation: Workload,
+    percentile: float = 90.0,
+    planner: Planner | None = None,
+) -> float:
+    """P-Error percentile of ``estimator`` over a validation workload."""
+    planner = planner or Planner(database)
+    errors = []
+    for labeled in validation.queries:
+        true_cards = {
+            s: float(c) for s, c in labeled.sub_plan_true_cards.items()
+        }
+        estimates = estimate_sub_plans(estimator, labeled.query)
+        errors.append(p_error(planner, labeled.query, estimates, true_cards))
+    return float(np.percentile(errors, percentile))
+
+
+def grid_search(
+    factory: Callable[..., object],
+    grid: dict[str, list],
+    database: Database,
+    validation: Workload,
+    percentile: float = 90.0,
+) -> TuningResult:
+    """Fit one estimator per grid point, keep the best P-Error score.
+
+    ``factory`` is the estimator class (or any callable accepting the
+    grid's keys as keyword arguments); every combination is fitted on
+    ``database`` and scored on ``validation``.  Deterministic given
+    deterministic estimators.
+    """
+    if not grid:
+        raise ValueError("empty grid")
+    started = time.perf_counter()
+    planner = Planner(database)
+    keys = sorted(grid)
+    trials: list[tuple[dict, float]] = []
+    for combination in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, combination))
+        estimator = factory(**params)
+        estimator.fit(database)
+        score = score_estimator(
+            estimator, database, validation, percentile, planner
+        )
+        trials.append((params, score))
+    best_params, best_score = min(trials, key=lambda t: t[1])
+    return TuningResult(
+        best_params=best_params,
+        best_score=best_score,
+        trials=trials,
+        seconds=time.perf_counter() - started,
+    )

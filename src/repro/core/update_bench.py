@@ -1,0 +1,65 @@
+"""Dynamic-data experiment (Table 6 of the paper).
+
+Procedure, mirroring Section 6.3: split STATS by tuple timestamps,
+train a stale model on the pre-split data, insert the remaining rows,
+measure each method's incremental update time, and re-run the
+end-to-end benchmark with the updated model — exposing both update
+*speed* and update *accuracy* (structure-frozen models degrade).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.benchmark import EndToEndBenchmark, EstimatorRun
+from repro.datasets.stats_db import SPLIT_DAY, split_by_date
+from repro.engine.database import Database
+from repro.estimators.base import CardinalityEstimator
+from repro.workloads.generator import Workload
+
+
+@dataclass
+class UpdateResult:
+    """Table-6 row for one estimator."""
+
+    estimator_name: str
+    training_seconds: float
+    update_seconds: float
+    run_after_update: EstimatorRun
+
+
+def run_update_experiment(
+    database: Database,
+    workload: Workload,
+    estimator: CardinalityEstimator,
+    split_day: int = SPLIT_DAY,
+    max_intermediate_rows: int = 20_000_000,
+) -> UpdateResult:
+    """Stale-fit, insert, update, re-benchmark one estimator.
+
+    ``database`` must be freshly built (it is split, then re-assembled
+    by insertion, so the updated content equals the original rows in a
+    different order — all workload cardinalities stay valid).
+    """
+    stale_db, new_rows = split_by_date(database, split_day)
+    estimator.fit(stale_db)
+
+    for table_name, delta in new_rows.items():
+        if delta.num_rows:
+            stale_db.insert(table_name, delta)
+
+    started = time.perf_counter()
+    estimator.update(new_rows)
+    update_seconds = time.perf_counter() - started
+
+    benchmark = EndToEndBenchmark(
+        stale_db, workload, max_intermediate_rows=max_intermediate_rows
+    )
+    run = benchmark.run(estimator)
+    return UpdateResult(
+        estimator_name=estimator.name,
+        training_seconds=estimator.training_seconds,
+        update_seconds=update_seconds,
+        run_after_update=run,
+    )

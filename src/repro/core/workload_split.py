@@ -1,0 +1,85 @@
+"""OLTP/OLAP workload split (Table 5 of the paper).
+
+The paper divides STATS-CEB by query execution time into a TP
+(short-running) and an AP (long-running) workload to show that
+estimator inference latency dominates end-to-end time on TP queries
+and is negligible on AP queries (observation O7).  The split here is
+by the baseline (TrueCard) execution time of each query against a
+quantile threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.benchmark import EstimatorRun
+
+
+@dataclass(frozen=True)
+class SplitTimes:
+    """Per-workload-half timing aggregate for one estimator."""
+
+    estimator_name: str
+    tp_execution_seconds: float
+    tp_planning_seconds: float
+    ap_execution_seconds: float
+    ap_planning_seconds: float
+    tp_aborted: int
+    ap_aborted: int
+
+    @property
+    def tp_planning_share(self) -> float:
+        total = self.tp_execution_seconds + self.tp_planning_seconds
+        return self.tp_planning_seconds / total if total else 0.0
+
+    @property
+    def ap_planning_share(self) -> float:
+        total = self.ap_execution_seconds + self.ap_planning_seconds
+        return self.ap_planning_seconds / total if total else 0.0
+
+
+def split_query_names(
+    baseline: EstimatorRun,
+    quantile: float = 0.75,
+) -> tuple[set[str], set[str]]:
+    """Partition queries into (TP, AP) by baseline execution time."""
+    times = [run.execution_seconds for run in baseline.query_runs]
+    threshold = float(np.quantile(times, quantile)) if times else 0.0
+    tp, ap = set(), set()
+    for run in baseline.query_runs:
+        (tp if run.execution_seconds <= threshold else ap).add(run.query_name)
+    return tp, ap
+
+
+def split_times(
+    run: EstimatorRun,
+    tp_names: set[str],
+    penalty: dict[str, float] | None = None,
+) -> SplitTimes:
+    """Aggregate one estimator's run into the TP/AP halves."""
+    tp_exec = ap_exec = tp_plan = ap_plan = 0.0
+    tp_aborted = ap_aborted = 0
+    for query_run in run.query_runs:
+        execution = query_run.execution_seconds
+        if query_run.aborted and penalty is not None:
+            execution = penalty.get(query_run.query_name, execution)
+        planning = query_run.inference_seconds + query_run.planning_seconds
+        if query_run.query_name in tp_names:
+            tp_exec += execution
+            tp_plan += planning
+            tp_aborted += int(query_run.aborted)
+        else:
+            ap_exec += execution
+            ap_plan += planning
+            ap_aborted += int(query_run.aborted)
+    return SplitTimes(
+        estimator_name=run.estimator_name,
+        tp_execution_seconds=tp_exec,
+        tp_planning_seconds=tp_plan,
+        ap_execution_seconds=ap_exec,
+        ap_planning_seconds=ap_plan,
+        tp_aborted=tp_aborted,
+        ap_aborted=ap_aborted,
+    )

@@ -1,0 +1,14 @@
+"""Benchmark datasets.
+
+- :mod:`repro.datasets.stats_db` — the STATS-like database (Figure 1):
+  8 tables, skewed and correlated attributes, PK-FK and FK-FK joins.
+- :mod:`repro.datasets.imdb_light` — the simplified-IMDB-like database:
+  6 tables, star joins around a central table, mild distributions.
+- :mod:`repro.datasets.describe` — the Table-1 statistics.
+- :mod:`repro.datasets.generator` — skew/correlation/fan-out primitives.
+"""
+
+from repro.datasets.imdb_light import build_imdb_light
+from repro.datasets.stats_db import build_stats, split_by_date
+
+__all__ = ["build_imdb_light", "build_stats", "split_by_date"]

@@ -1,0 +1,190 @@
+"""Dataset statistics behind Table 1 of the paper.
+
+For each benchmark database this module computes the criteria the
+paper uses to argue STATS is harder than the simplified IMDB: scale
+(tables, filterable attributes, full join size), data complexity
+(distribution skew, pairwise correlation, total domain size) and
+schema richness (join forms, number of join relations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.engine.catalog import JoinEdge
+from repro.engine.database import Database
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """The Table-1 row for one dataset."""
+
+    name: str
+    num_tables: int
+    num_attributes: int
+    attributes_per_table: tuple[int, int]
+    full_join_size: float
+    total_domain_size: int
+    average_skewness: float
+    average_correlation: float
+    join_forms: str
+    num_join_relations: int
+
+
+def describe(database: Database) -> DatasetSummary:
+    """Compute the full Table-1 summary of ``database``."""
+    per_table_attrs = [
+        len(table.schema.filterable_columns) for table in database.tables.values()
+    ]
+    return DatasetSummary(
+        name=database.name,
+        num_tables=len(database.tables),
+        num_attributes=sum(per_table_attrs),
+        attributes_per_table=(min(per_table_attrs), max(per_table_attrs)),
+        full_join_size=full_join_size(database),
+        total_domain_size=total_domain_size(database),
+        average_skewness=average_skewness(database),
+        average_correlation=average_pairwise_correlation(database),
+        join_forms=join_forms(database),
+        num_join_relations=len(database.join_graph.edges),
+    )
+
+
+def total_domain_size(database: Database) -> int:
+    """Sum of distinct-value counts over all filterable attributes."""
+    total = 0
+    for table in database.tables.values():
+        for column in table.schema.filterable_columns:
+            total += len(np.unique(table.column(column.name).non_null_values()))
+    return total
+
+
+def average_skewness(database: Database) -> float:
+    """Mean absolute moment skewness over all filterable attributes."""
+    values = []
+    for table in database.tables.values():
+        for column in table.schema.filterable_columns:
+            data = table.column(column.name).non_null_values()
+            if len(data) > 2 and data.std() > 0:
+                values.append(abs(float(scipy_stats.skew(data))))
+    return float(np.mean(values)) if values else 0.0
+
+
+def average_pairwise_correlation(database: Database) -> float:
+    """Mean absolute Pearson correlation over within-table attribute pairs."""
+    values = []
+    for table in database.tables.values():
+        attrs = table.schema.filterable_columns
+        for i in range(len(attrs)):
+            for j in range(i + 1, len(attrs)):
+                a = table.column(attrs[i].name)
+                b = table.column(attrs[j].name)
+                both = ~a.null_mask & ~b.null_mask
+                if both.sum() < 3:
+                    continue
+                x, y = a.values[both], b.values[both]
+                if x.std() == 0 or y.std() == 0:
+                    continue
+                values.append(abs(float(np.corrcoef(x, y)[0, 1])))
+    return float(np.mean(values)) if values else 0.0
+
+
+def join_forms(database: Database) -> str:
+    """Available join forms in the schema graph: star or star/chain/mixed.
+
+    A pure star (every edge incident to one hub) supports only star
+    joins; anything richer supports chains and mixed forms as well.
+    """
+    graph = database.join_graph
+    tables = graph.tables
+    for hub in tables:
+        if all(hub in edge.tables for edge in graph.edges):
+            return "star"
+    return "star/chain/mixed"
+
+
+def full_join_size(database: Database, root: str | None = None) -> float:
+    """Size of the outer join of all tables along a spanning tree.
+
+    Computed exactly by propagating per-key match counts bottom-up
+    (each unmatched parent row is NULL-extended, i.e. contributes a
+    factor of one, approximating the full *outer* join the paper
+    reports).  The spanning tree is chosen by BFS from ``root`` over
+    the schema's join edges, preferring PK-FK edges.
+    """
+    graph = database.join_graph
+    tables = sorted(graph.tables)
+    if root is None:
+        # Root at the most "primary" table (most PK sides of PK-FK
+        # edges), so the outer join preserves unmatched parents.
+        def primariness(table: str) -> int:
+            score = 0
+            for edge in graph.edges_of(table):
+                if edge.one_to_many:
+                    score += 1 if edge.left == table else -1
+            return score
+
+        root = max(tables, key=primariness)
+
+    tree = _spanning_tree(graph.edges, root)
+    return _outer_join_weight(database, root, None, tree)
+
+
+def _spanning_tree(edges: list[JoinEdge], root: str) -> dict[str, list[JoinEdge]]:
+    """BFS spanning tree: maps each table to its child edges."""
+    ordered = sorted(edges, key=lambda e: (not e.one_to_many, e.left, e.right))
+    children: dict[str, list[JoinEdge]] = {}
+    visited = {root}
+    frontier = [root]
+    while frontier:
+        current = frontier.pop(0)
+        for edge in ordered:
+            if current in edge.tables:
+                other = edge.other(current)
+                if other not in visited:
+                    visited.add(other)
+                    children.setdefault(current, []).append(edge)
+                    frontier.append(other)
+    return children
+
+
+def _outer_join_weight(
+    database: Database,
+    table_name: str,
+    parent_edge: JoinEdge | None,
+    tree: dict[str, list[JoinEdge]],
+) -> float | tuple[np.ndarray, np.ndarray]:
+    """Recursive count propagation.
+
+    For the root this returns the total outer-join size; for any other
+    node it returns ``(keys, weights)`` aggregated on the column joining
+    it to its parent.
+    """
+    table = database.tables[table_name]
+    weights = np.ones(table.num_rows, dtype=np.float64)
+
+    for edge in tree.get(table_name, []):
+        child = edge.other(table_name)
+        child_keys, child_weights = _outer_join_weight(database, child, edge, tree)
+        own_column = table.column(edge.key_for(table_name))
+        positions = np.searchsorted(child_keys, own_column.values)
+        positions = np.clip(positions, 0, max(0, len(child_keys) - 1))
+        matched = np.zeros(table.num_rows, dtype=np.float64)
+        if len(child_keys):
+            hit = (child_keys[positions] == own_column.values) & ~own_column.null_mask
+            matched[hit] = child_weights[positions[hit]]
+        # Outer join: unmatched rows survive NULL-extended.
+        weights *= np.maximum(matched, 1.0)
+
+    if parent_edge is None:
+        return float(weights.sum())
+
+    key_column = table.column(parent_edge.key_for(table_name))
+    valid = ~key_column.null_mask
+    keys, inverse = np.unique(key_column.values[valid], return_inverse=True)
+    aggregated = np.zeros(len(keys), dtype=np.float64)
+    np.add.at(aggregated, inverse, weights[valid])
+    return keys, aggregated

@@ -1,0 +1,128 @@
+"""CSV export/import for the benchmark databases.
+
+Mirrors the paper's released artifacts: the STATS dataset ships as
+one CSV per table so it can be loaded into a real DBMS.  NULLs are
+written as empty fields; a small ``schema.json`` sidecar records the
+column metadata and the join graph so the database round-trips.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.catalog import ColumnMeta, JoinEdge, JoinGraph, TableSchema
+from repro.engine.database import Database
+from repro.engine.table import Column, Table
+from repro.engine.types import ColumnKind
+
+
+def export_csv(database: Database, directory: Path) -> None:
+    """Write one ``<table>.csv`` per table plus ``schema.json``."""
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, table in database.tables.items():
+        with open(directory / f"{name}.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.schema.column_names)
+            columns = [table.column(c) for c in table.schema.column_names]
+            for row in range(table.num_rows):
+                writer.writerow(
+                    [
+                        ""
+                        if column.null_mask[row]
+                        else _format_value(column.values[row])
+                        for column in columns
+                    ]
+                )
+    (directory / "schema.json").write_text(json.dumps(_schema_payload(database)))
+
+
+def import_csv(directory: Path) -> Database:
+    """Load a database previously written by :func:`export_csv`."""
+    payload = json.loads((directory / "schema.json").read_text())
+    tables: dict[str, Table] = {}
+    for table_payload in payload["tables"]:
+        schema = _schema_from(table_payload)
+        tables[schema.name] = _read_table(directory / f"{schema.name}.csv", schema)
+    graph = JoinGraph(
+        edges=[
+            JoinEdge(left, lc, right, rc, one_to_many=otm)
+            for left, lc, right, rc, otm in payload["join_edges"]
+        ]
+    )
+    return Database(name=payload["name"], tables=tables, join_graph=graph)
+
+
+def _format_value(value) -> str:
+    number = float(value)
+    if number == int(number):
+        return str(int(number))
+    return repr(number)
+
+
+def _schema_payload(database: Database) -> dict:
+    return {
+        "name": database.name,
+        "tables": [
+            {
+                "name": table.schema.name,
+                "primary_key": table.schema.primary_key,
+                "columns": [
+                    {
+                        "name": meta.name,
+                        "kind": meta.kind.value,
+                        "filterable": meta.filterable,
+                        "is_key": meta.is_key,
+                    }
+                    for meta in table.schema.columns
+                ],
+            }
+            for table in database.tables.values()
+        ],
+        "join_edges": [
+            [e.left, e.left_column, e.right, e.right_column, e.one_to_many]
+            for e in database.join_graph.edges
+        ],
+    }
+
+
+def _schema_from(payload: dict) -> TableSchema:
+    return TableSchema(
+        payload["name"],
+        tuple(
+            ColumnMeta(
+                column["name"],
+                ColumnKind(column["kind"]),
+                filterable=column["filterable"],
+                is_key=column["is_key"],
+            )
+            for column in payload["columns"]
+        ),
+        primary_key=payload["primary_key"],
+    )
+
+
+def _read_table(path: Path, schema: TableSchema) -> Table:
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if tuple(header) != schema.column_names:
+            raise ValueError(f"CSV header of {path.name} does not match the schema")
+        rows = list(reader)
+
+    columns: dict[str, Column] = {}
+    for index, meta in enumerate(schema.columns):
+        dtype = meta.kind.dtype
+        values = np.zeros(len(rows), dtype=dtype)
+        nulls = np.zeros(len(rows), dtype=bool)
+        for row_number, row in enumerate(rows):
+            cell = row[index]
+            if cell == "":
+                nulls[row_number] = True
+            else:
+                values[row_number] = dtype.type(float(cell))
+        columns[meta.name] = Column(values=values, null_mask=nulls)
+    return Table(schema=schema, columns=columns)

@@ -1,0 +1,473 @@
+"""The STATS-like benchmark database (Figure 1 of the paper).
+
+The real STATS dataset is an anonymized dump of the Stats Stack
+Exchange network.  This module generates a deterministic synthetic
+database with the same schema, the same 23 filterable n./c. attributes
+and the same 12 join relations, engineered to reproduce the data
+properties the paper builds its benchmark on:
+
+- heavily skewed attribute distributions (Zipfian values),
+- strong cross-attribute correlation within tables (e.g. a post's
+  score tracks its view count; a user's up-votes track reputation),
+- power-law join-key fan-outs correlated with attributes (active users
+  own most posts, popular posts attract most comments/votes),
+- both PK-FK (one-to-many) and FK-FK (many-to-many) join relations,
+- timestamp columns that respect referential chronology, enabling the
+  paper's update experiment (split at a date, insert the rest).
+
+Days are measured as integers since 2010-01-01; ``SPLIT_DAY`` marks
+2014-01-01, the paper's "train on data created before 2014" boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets import generator as gen
+from repro.engine.catalog import ColumnMeta, JoinEdge, JoinGraph, TableSchema
+from repro.engine.database import Database
+from repro.engine.table import Column, Table
+from repro.engine.types import ColumnKind
+
+#: integer day index of 2014-01-01 relative to 2010-01-01.
+SPLIT_DAY = 1461
+
+#: last generated day (mid 2015).
+END_DAY = 2000
+
+
+@dataclass(frozen=True)
+class StatsConfig:
+    """Scale and seed knobs for the synthetic STATS database."""
+
+    seed: int = 42
+    users: int = 16_000
+    badges: int = 32_000
+    posts: int = 60_000
+    comments: int = 100_000
+    votes: int = 120_000
+    post_history: int = 48_000
+    post_links: int = 12_000
+    tags: int = 2_400
+
+    def scaled(self, factor: float) -> "StatsConfig":
+        """A config with every table size multiplied by ``factor``."""
+        return StatsConfig(
+            seed=self.seed,
+            users=max(10, int(self.users * factor)),
+            badges=max(10, int(self.badges * factor)),
+            posts=max(10, int(self.posts * factor)),
+            comments=max(10, int(self.comments * factor)),
+            votes=max(10, int(self.votes * factor)),
+            post_history=max(10, int(self.post_history * factor)),
+            post_links=max(10, int(self.post_links * factor)),
+            tags=max(5, int(self.tags * factor)),
+        )
+
+
+def _key(name: str) -> ColumnMeta:
+    return ColumnMeta(name, ColumnKind.INT, filterable=False, is_key=True)
+
+
+def _attr(name: str) -> ColumnMeta:
+    return ColumnMeta(name, ColumnKind.INT, filterable=True, is_key=False)
+
+
+USERS = TableSchema(
+    "users",
+    (
+        _key("Id"),
+        _attr("Reputation"),
+        _attr("CreationDate"),
+        _attr("Views"),
+        _attr("UpVotes"),
+        _attr("DownVotes"),
+    ),
+    primary_key="Id",
+)
+
+BADGES = TableSchema(
+    "badges",
+    (_key("Id"), _key("UserId"), _attr("Date")),
+    primary_key="Id",
+)
+
+POSTS = TableSchema(
+    "posts",
+    (
+        _key("Id"),
+        _key("OwnerUserId"),
+        _attr("PostTypeId"),
+        _attr("CreationDate"),
+        _attr("Score"),
+        _attr("ViewCount"),
+        _attr("AnswerCount"),
+        _attr("CommentCount"),
+        _attr("FavoriteCount"),
+    ),
+    primary_key="Id",
+)
+
+COMMENTS = TableSchema(
+    "comments",
+    (
+        _key("Id"),
+        _key("PostId"),
+        _key("UserId"),
+        _attr("Score"),
+        _attr("CreationDate"),
+    ),
+    primary_key="Id",
+)
+
+VOTES = TableSchema(
+    "votes",
+    (
+        _key("Id"),
+        _key("PostId"),
+        _key("UserId"),
+        _attr("VoteTypeId"),
+        _attr("CreationDate"),
+        _attr("BountyAmount"),
+    ),
+    primary_key="Id",
+)
+
+POST_HISTORY = TableSchema(
+    "postHistory",
+    (
+        _key("Id"),
+        _key("PostId"),
+        _key("UserId"),
+        _attr("PostHistoryTypeId"),
+        _attr("CreationDate"),
+    ),
+    primary_key="Id",
+)
+
+POST_LINKS = TableSchema(
+    "postLinks",
+    (
+        _key("Id"),
+        _key("PostId"),
+        _key("RelatedPostId"),
+        _attr("LinkTypeId"),
+        _attr("CreationDate"),
+    ),
+    primary_key="Id",
+)
+
+TAGS = TableSchema(
+    "tags",
+    (_key("Id"), _key("ExcerptPostId"), _attr("Count")),
+    primary_key="Id",
+)
+
+ALL_SCHEMAS = (USERS, BADGES, POSTS, COMMENTS, VOTES, POST_HISTORY, POST_LINKS, TAGS)
+
+#: Per-table column holding the row's creation time, used by the update
+#: experiment's timestamp split.  ``tags`` has no timestamp in STATS.
+DATE_COLUMNS = {
+    "users": "CreationDate",
+    "badges": "Date",
+    "posts": "CreationDate",
+    "comments": "CreationDate",
+    "votes": "CreationDate",
+    "postHistory": "CreationDate",
+    "postLinks": "CreationDate",
+}
+
+
+def stats_join_graph() -> JoinGraph:
+    """The 12 join relations of Figure 1 (11 PK-FK plus 1 FK-FK)."""
+    graph = JoinGraph()
+    graph.add(JoinEdge("users", "Id", "badges", "UserId", one_to_many=True))
+    graph.add(JoinEdge("users", "Id", "comments", "UserId", one_to_many=True))
+    graph.add(JoinEdge("users", "Id", "posts", "OwnerUserId", one_to_many=True))
+    graph.add(JoinEdge("users", "Id", "postHistory", "UserId", one_to_many=True))
+    graph.add(JoinEdge("users", "Id", "votes", "UserId", one_to_many=True))
+    graph.add(JoinEdge("posts", "Id", "comments", "PostId", one_to_many=True))
+    graph.add(JoinEdge("posts", "Id", "postHistory", "PostId", one_to_many=True))
+    graph.add(JoinEdge("posts", "Id", "postLinks", "PostId", one_to_many=True))
+    graph.add(JoinEdge("posts", "Id", "postLinks", "RelatedPostId", one_to_many=True))
+    graph.add(JoinEdge("posts", "Id", "votes", "PostId", one_to_many=True))
+    graph.add(JoinEdge("posts", "Id", "tags", "ExcerptPostId", one_to_many=True))
+    graph.add(JoinEdge("badges", "UserId", "comments", "UserId", one_to_many=False))
+    return graph
+
+
+def build_stats(config: StatsConfig | None = None) -> Database:
+    """Generate the STATS-like database deterministically from a seed."""
+    config = config or StatsConfig()
+    rng = np.random.default_rng(config.seed)
+
+    users = _build_users(rng, config)
+    posts = _build_posts(rng, config, users)
+    badges = _build_badges(rng, config, users)
+    comments = _build_comments(rng, config, users, posts)
+    votes = _build_votes(rng, config, users, posts)
+    post_history = _build_post_history(rng, config, users, posts)
+    post_links = _build_post_links(rng, config, posts)
+    tags = _build_tags(rng, config, posts)
+
+    return Database(
+        name="stats",
+        tables={
+            "users": users,
+            "badges": badges,
+            "posts": posts,
+            "comments": comments,
+            "votes": votes,
+            "postHistory": post_history,
+            "postLinks": post_links,
+            "tags": tags,
+        },
+        join_graph=stats_join_graph(),
+    )
+
+
+# -- per-table builders -----------------------------------------------------
+
+
+def _build_users(rng: np.random.Generator, config: StatsConfig) -> Table:
+    n = config.users
+    reputation = gen.zipf_ints(rng, n, domain=20_000, exponent=1.35, start=1)
+    views = gen.correlated_ints(rng, reputation, domain=5_000, correlation=0.7)
+    upvotes = gen.correlated_ints(rng, reputation, domain=3_000, correlation=0.6)
+    downvotes = gen.correlated_ints(rng, upvotes, domain=500, correlation=0.5, exponent=1.8)
+    creation = gen.skewed_dates(rng, n, 0, END_DAY - 200, recency_bias=1.2)
+    return Table.from_arrays(
+        USERS,
+        {
+            "Id": np.arange(n),
+            "Reputation": reputation,
+            "CreationDate": creation,
+            "Views": views,
+            "UpVotes": upvotes,
+            "DownVotes": downvotes,
+        },
+    )
+
+
+def _child_dates(
+    rng: np.random.Generator,
+    parent_dates: np.ndarray,
+    promptness: float = 2.5,
+) -> np.ndarray:
+    """Dates at or after each parent's date (referential chronology).
+
+    Offsets are biased towards small values (content follows its parent
+    soon), which keeps the pre-2014 fraction of every table near the
+    paper's "roughly 50%" split point.
+    """
+    headroom = np.maximum(1, END_DAY - parent_dates)
+    offsets = np.floor((rng.random(len(parent_dates)) ** promptness) * headroom)
+    return parent_dates + offsets.astype(np.int64)
+
+
+def _build_posts(rng: np.random.Generator, config: StatsConfig, users: Table) -> Table:
+    n = config.posts
+    user_ids = users.column("Id").values
+    reputation = users.column("Reputation").values
+    owner = gen.powerlaw_fanout_keys(rng, n, user_ids, exponent=0.8, weights=reputation)
+    owner_dates = users.column("CreationDate").values[owner]
+    creation = _child_dates(rng, owner_dates)
+
+    view_count = gen.zipf_ints(rng, n, domain=3_000, exponent=1.4)
+    score = gen.correlated_ints(rng, view_count, domain=120, correlation=0.65) - 10
+    comment_count = gen.correlated_ints(rng, view_count, domain=40, correlation=0.5, exponent=1.7)
+    answer_count = gen.correlated_ints(rng, comment_count, domain=15, correlation=0.6, exponent=1.9)
+    post_type = gen.zipf_ints(rng, n, domain=8, exponent=2.2, start=1)
+    favorites, favorite_nulls = gen.with_nulls(
+        rng, gen.zipf_ints(rng, n, domain=100, exponent=1.8), null_frac=0.6
+    )
+
+    return Table(
+        schema=POSTS,
+        columns={
+            "Id": Column.from_values(np.arange(n)),
+            "OwnerUserId": Column.from_values(owner),
+            "PostTypeId": Column.from_values(post_type),
+            "CreationDate": Column.from_values(creation),
+            "Score": Column.from_values(score),
+            "ViewCount": Column.from_values(view_count),
+            "AnswerCount": Column.from_values(answer_count),
+            "CommentCount": Column.from_values(comment_count),
+            "FavoriteCount": Column.from_values(favorites, favorite_nulls),
+        },
+    )
+
+
+def _build_badges(rng: np.random.Generator, config: StatsConfig, users: Table) -> Table:
+    n = config.badges
+    user_ids = users.column("Id").values
+    reputation = users.column("Reputation").values
+    user = gen.powerlaw_fanout_keys(rng, n, user_ids, exponent=0.9, weights=reputation)
+    date = _child_dates(rng, users.column("CreationDate").values[user])
+    return Table.from_arrays(
+        BADGES,
+        {"Id": np.arange(n), "UserId": user, "Date": date},
+    )
+
+
+def _build_comments(
+    rng: np.random.Generator,
+    config: StatsConfig,
+    users: Table,
+    posts: Table,
+) -> Table:
+    n = config.comments
+    post_ids = posts.column("Id").values
+    popularity = posts.column("ViewCount").values
+    post = gen.powerlaw_fanout_keys(rng, n, post_ids, exponent=0.85, weights=popularity)
+    user = gen.powerlaw_fanout_keys(
+        rng,
+        n,
+        users.column("Id").values,
+        exponent=0.9,
+        weights=users.column("Reputation").values,
+    )
+    score = gen.zipf_ints(rng, n, domain=60, exponent=2.0)
+    creation = _child_dates(rng, posts.column("CreationDate").values[post])
+    return Table.from_arrays(
+        COMMENTS,
+        {
+            "Id": np.arange(n),
+            "PostId": post,
+            "UserId": user,
+            "Score": score,
+            "CreationDate": creation,
+        },
+    )
+
+
+def _build_votes(
+    rng: np.random.Generator,
+    config: StatsConfig,
+    users: Table,
+    posts: Table,
+) -> Table:
+    n = config.votes
+    post_ids = posts.column("Id").values
+    popularity = posts.column("Score").values
+    post = gen.powerlaw_fanout_keys(rng, n, post_ids, exponent=0.85, weights=popularity)
+    user, user_nulls = gen.with_nulls(
+        rng,
+        gen.powerlaw_fanout_keys(rng, n, users.column("Id").values, exponent=1.0),
+        null_frac=0.4,
+    )
+    vote_type = gen.zipf_ints(rng, n, domain=15, exponent=2.0, start=1)
+    bounty = 50 * gen.zipf_ints(rng, n, domain=10, exponent=1.5, start=1)
+    bounty_nulls = ~np.isin(vote_type, (8, 9))
+    creation = _child_dates(rng, posts.column("CreationDate").values[post])
+    return Table(
+        schema=VOTES,
+        columns={
+            "Id": Column.from_values(np.arange(n)),
+            "PostId": Column.from_values(post),
+            "UserId": Column.from_values(user, user_nulls),
+            "VoteTypeId": Column.from_values(vote_type),
+            "CreationDate": Column.from_values(creation),
+            "BountyAmount": Column.from_values(bounty, bounty_nulls),
+        },
+    )
+
+
+def _build_post_history(
+    rng: np.random.Generator,
+    config: StatsConfig,
+    users: Table,
+    posts: Table,
+) -> Table:
+    n = config.post_history
+    post = gen.powerlaw_fanout_keys(
+        rng, n, posts.column("Id").values, exponent=0.85, weights=posts.column("ViewCount").values
+    )
+    user = gen.powerlaw_fanout_keys(
+        rng,
+        n,
+        users.column("Id").values,
+        exponent=0.8,
+        weights=users.column("Reputation").values,
+    )
+    history_type = gen.zipf_ints(rng, n, domain=12, exponent=1.6, start=1)
+    creation = _child_dates(rng, posts.column("CreationDate").values[post])
+    return Table.from_arrays(
+        POST_HISTORY,
+        {
+            "Id": np.arange(n),
+            "PostId": post,
+            "UserId": user,
+            "PostHistoryTypeId": history_type,
+            "CreationDate": creation,
+        },
+    )
+
+
+def _build_post_links(rng: np.random.Generator, config: StatsConfig, posts: Table) -> Table:
+    n = config.post_links
+    post_ids = posts.column("Id").values
+    post = gen.powerlaw_fanout_keys(rng, n, post_ids, exponent=0.9)
+    related = gen.powerlaw_fanout_keys(
+        rng, n, post_ids, exponent=0.9, weights=posts.column("ViewCount").values
+    )
+    link_type = np.where(rng.random(n) < 0.85, 1, 3).astype(np.int64)
+    creation = _child_dates(rng, posts.column("CreationDate").values[post])
+    return Table.from_arrays(
+        POST_LINKS,
+        {
+            "Id": np.arange(n),
+            "PostId": post,
+            "RelatedPostId": related,
+            "LinkTypeId": link_type,
+            "CreationDate": creation,
+        },
+    )
+
+
+def _build_tags(rng: np.random.Generator, config: StatsConfig, posts: Table) -> Table:
+    n = config.tags
+    excerpt = rng.choice(posts.column("Id").values, size=n, replace=False)
+    excerpt_nulls = rng.random(n) < 0.15
+    count = gen.zipf_ints(rng, n, domain=5_000, exponent=1.3, start=1)
+    return Table(
+        schema=TAGS,
+        columns={
+            "Id": Column.from_values(np.arange(n)),
+            "ExcerptPostId": Column.from_values(excerpt, excerpt_nulls),
+            "Count": Column.from_values(count),
+        },
+    )
+
+
+# -- update-experiment support ------------------------------------------------
+
+
+def split_by_date(database: Database, split_day: int = SPLIT_DAY) -> tuple[Database, dict[str, Table]]:
+    """Split ``database`` into a stale part and the rows inserted later.
+
+    Rows whose creation column is strictly before ``split_day`` form
+    the stale database (used to train the initial models); the rest are
+    returned per table for insertion, mirroring the paper's update
+    experiment.  ``tags`` has no timestamp and stays entirely in the
+    stale part.
+    """
+    old_tables: dict[str, Table] = {}
+    new_tables: dict[str, Table] = {}
+    for name, table in database.tables.items():
+        date_column = DATE_COLUMNS.get(name)
+        if date_column is None:
+            old_tables[name] = table
+            new_tables[name] = table.take(np.empty(0, dtype=np.int64))
+            continue
+        dates = table.column(date_column).values
+        old_tables[name] = table.take(np.nonzero(dates < split_day)[0])
+        new_tables[name] = table.take(np.nonzero(dates >= split_day)[0])
+    old_db = Database(
+        name=f"{database.name}-pre{split_day}",
+        tables=old_tables,
+        join_graph=database.join_graph,
+    )
+    return old_db, new_tables

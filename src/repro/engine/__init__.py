@@ -1,0 +1,43 @@
+"""A miniature column-store DBMS used as the PostgreSQL stand-in.
+
+The engine provides exactly what the paper's evaluation platform needs
+from PostgreSQL:
+
+- a catalog with a join graph (:mod:`repro.engine.catalog`),
+- column-store tables over numpy arrays (:mod:`repro.engine.table`),
+- canonical-form selection predicates (:mod:`repro.engine.predicates`),
+- ``ANALYZE``-style statistics (:mod:`repro.engine.stats`),
+- a PostgreSQL-flavoured cost model (:mod:`repro.engine.cost`),
+- a dynamic-programming join-order planner that consumes *injected*
+  sub-plan cardinalities (:mod:`repro.engine.planner`), and
+- a vectorised executor with genuinely different physical join
+  operators (:mod:`repro.engine.executor`).
+"""
+
+from repro.engine.catalog import ColumnMeta, JoinEdge, JoinGraph, TableSchema
+from repro.engine.database import Database
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.explain import ExplainResult, explain
+from repro.engine.planner import Planner
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+from repro.engine.sql import parse_query, query_to_sql
+from repro.engine.table import Table
+
+__all__ = [
+    "ColumnMeta",
+    "Database",
+    "ExecutionResult",
+    "Executor",
+    "ExplainResult",
+    "JoinEdge",
+    "JoinGraph",
+    "Planner",
+    "Predicate",
+    "Query",
+    "Table",
+    "TableSchema",
+    "explain",
+    "parse_query",
+    "query_to_sql",
+]

@@ -1,0 +1,160 @@
+"""PostgreSQL-flavoured cost model.
+
+The formulas follow PostgreSQL's ``costsize.c`` in simplified form.
+Crucially, every row count a cost depends on is looked up from an
+external cardinality mapping (``cards``), never computed internally:
+this is what lets the benchmark cost the *same* plan tree under
+estimated cardinalities (during planning) and under true cardinalities
+(for the PPC term of P-Error).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.engine.database import Database
+from repro.engine.plans import (
+    JOIN_HASH,
+    JOIN_INDEX_NL,
+    JOIN_MERGE,
+    SCAN_INDEX,
+    SCAN_SEQ,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+)
+from repro.engine.types import pages_for
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Tunable constants, defaulting to PostgreSQL's defaults."""
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    cpu_operator_cost: float = 0.0025
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """Physical facts about one base table the cost model needs."""
+
+    raw_rows: int
+    width: int
+    pages: float
+
+
+def table_infos(database: Database) -> dict[str, TableInfo]:
+    """Collect :class:`TableInfo` for every table in ``database``."""
+    infos = {}
+    for name, table in database.tables.items():
+        rows = table.num_rows
+        width = table.schema.width
+        infos[name] = TableInfo(raw_rows=rows, width=width, pages=pages_for(rows, width))
+    return infos
+
+
+class CostModel:
+    """Costs plan trees under an externally supplied cardinality map."""
+
+    def __init__(self, infos: dict[str, TableInfo], params: CostParameters | None = None):
+        self._infos = infos
+        self._params = params or CostParameters()
+
+    @property
+    def params(self) -> CostParameters:
+        return self._params
+
+    # -- public API ---------------------------------------------------------
+
+    def plan_cost(self, plan: PlanNode, cards: dict[frozenset[str], float]) -> float:
+        """Total cost of ``plan`` when node output rows come from ``cards``."""
+        if isinstance(plan, ScanNode):
+            return self._scan_cost(plan, cards)
+        assert isinstance(plan, JoinNode)
+        return self.join_cost(
+            plan,
+            cards,
+            left_cost=self.plan_cost(plan.left, cards),
+            right_cost=self.plan_cost(plan.right, cards),
+        )
+
+    def scan_cost(self, node: ScanNode, cards: dict[frozenset[str], float]) -> float:
+        """Cost of a single scan node (planner convenience)."""
+        return self._scan_cost(node, cards)
+
+    # -- scans ---------------------------------------------------------------
+
+    def _scan_cost(self, node: ScanNode, cards: dict[frozenset[str], float]) -> float:
+        info = self._infos[node.table]
+        p = self._params
+        out_rows = max(0.0, cards[node.tables])
+        if node.method == SCAN_SEQ:
+            run = info.pages * p.seq_page_cost
+            run += info.raw_rows * p.cpu_tuple_cost
+            run += info.raw_rows * p.cpu_operator_cost * len(node.predicates)
+            return run
+        assert node.method == SCAN_INDEX
+        selectivity = out_rows / max(1.0, info.raw_rows)
+        fetched_pages = max(1.0, selectivity * info.pages)
+        run = fetched_pages * p.random_page_cost
+        run += out_rows * p.cpu_index_tuple_cost
+        run += out_rows * p.cpu_tuple_cost
+        run += out_rows * p.cpu_operator_cost * max(0, len(node.predicates) - 1)
+        return run
+
+    # -- joins ----------------------------------------------------------------
+
+    def join_cost(
+        self,
+        node: JoinNode,
+        cards: dict[frozenset[str], float],
+        left_cost: float,
+        right_cost: float,
+    ) -> float:
+        """Cost of one join node given its children's (pre-computed) costs.
+
+        ``right_cost`` is ignored for index nested-loop joins: the inner
+        base table is never scanned as a whole, only probed through its
+        index.
+        """
+        p = self._params
+        out_rows = max(0.0, cards[node.tables])
+        left_rows = max(0.0, cards[node.left.tables])
+        right_rows = max(0.0, cards[node.right.tables])
+
+        if node.method == JOIN_HASH:
+            build = 2.0 * p.cpu_operator_cost * right_rows
+            probe = p.cpu_operator_cost * left_rows
+            emit = p.cpu_tuple_cost * out_rows
+            return left_cost + right_cost + build + probe + emit
+
+        if node.method == JOIN_MERGE:
+            sort = self._sort_cost(left_rows) + self._sort_cost(right_rows)
+            merge = p.cpu_operator_cost * (left_rows + right_rows)
+            emit = p.cpu_tuple_cost * out_rows
+            return left_cost + right_cost + sort + merge + emit
+
+        assert node.method == JOIN_INDEX_NL
+        # Inner is a base-table scan driven by an index on the join key;
+        # the index fetches *all* key matches and filters afterwards, so
+        # the fetched row count is the output inflated by the inverse of
+        # the inner filter selectivity.
+        assert isinstance(node.right, ScanNode)
+        info = self._infos[node.right.table]
+        inner_selectivity = right_rows / max(1.0, info.raw_rows)
+        fetched = out_rows / max(inner_selectivity, 1e-9)
+        per_probe = 0.5 * p.random_page_cost + 4.0 * p.cpu_operator_cost
+        run = left_cost
+        run += left_rows * per_probe
+        run += fetched * p.cpu_index_tuple_cost
+        run += fetched * p.cpu_operator_cost * len(node.right.predicates)
+        run += out_rows * p.cpu_tuple_cost
+        return run
+
+    def _sort_cost(self, rows: float) -> float:
+        rows = max(rows, 2.0)
+        return 2.0 * self._params.cpu_operator_cost * rows * math.log2(rows)

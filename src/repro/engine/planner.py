@@ -1,0 +1,215 @@
+"""Dynamic-programming join-order planner with cardinality injection.
+
+This mirrors PostgreSQL's ``standard_join_search``: it enumerates every
+connected subset of the query's join graph (the *sub-plan query
+space*), keeps the cheapest plan per subset, and considers hash, merge
+and index-nested-loop joins for every connected bipartition.
+
+Every cardinality the DP needs is looked up from an injected mapping
+``cards: frozenset[str] -> float`` — the evaluation platform's analog
+of the paper's overwrite of ``calc_joinrel_size_estimate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.cost import CostModel, TableInfo, table_infos
+from repro.engine.database import Database
+from repro.engine.plans import (
+    JOIN_HASH,
+    JOIN_INDEX_NL,
+    JOIN_MERGE,
+    SCAN_INDEX,
+    SCAN_SEQ,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+)
+from repro.engine.query import Query
+
+
+@dataclass
+class PlannedQuery:
+    """Planner output: the chosen plan and its estimated cost."""
+
+    query: Query
+    plan: PlanNode
+    estimated_cost: float
+    cards: dict[frozenset[str], float]
+
+
+class Planner:
+    """Cost-based DP planner over injected cardinalities."""
+
+    def __init__(self, database: Database, cost_model: CostModel | None = None):
+        self._database = database
+        self._cost_model = cost_model or CostModel(table_infos(database))
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    def plan(self, query: Query, cards: dict[frozenset[str], float]) -> PlannedQuery:
+        """Find the cheapest plan for ``query`` under ``cards``.
+
+        ``cards`` must contain an entry for every connected subset of
+        the query's join graph (i.e. the full sub-plan query space).
+        """
+        tables = sorted(query.tables)
+        bit_of = {name: 1 << i for i, name in enumerate(tables)}
+
+        adjacency = {name: 0 for name in tables}
+        edge_bits = []
+        for edge in query.join_edges:
+            adjacency[edge.left] |= bit_of[edge.right]
+            adjacency[edge.right] |= bit_of[edge.left]
+            edge_bits.append((bit_of[edge.left], bit_of[edge.right], edge))
+
+        def mask_tables(mask: int) -> frozenset[str]:
+            return frozenset(name for name in tables if bit_of[name] & mask)
+
+        def is_connected(mask: int) -> bool:
+            start = mask & -mask
+            seen = start
+            frontier = start
+            while frontier:
+                reachable = 0
+                m = frontier
+                while m:
+                    bit = m & -m
+                    m ^= bit
+                    name = tables[bit.bit_length() - 1]
+                    reachable |= adjacency[name] & mask
+                frontier = reachable & ~seen
+                seen |= frontier
+            return seen == mask
+
+        # Level 1: scans.
+        best: dict[int, tuple[float, PlanNode]] = {}
+        for name in tables:
+            node = self._best_scan(query, name, cards)
+            cost = self._cost_model.scan_cost(node, cards)
+            best[bit_of[name]] = (cost, node)
+
+        full_mask = (1 << len(tables)) - 1
+        # Enumerate connected subsets in increasing popcount order.
+        masks_by_size: dict[int, list[int]] = {}
+        for mask in range(1, full_mask + 1):
+            masks_by_size.setdefault(mask.bit_count(), []).append(mask)
+
+        for size in range(2, len(tables) + 1):
+            for mask in masks_by_size.get(size, []):
+                if not is_connected(mask):
+                    continue
+                subset = mask_tables(mask)
+                out_rows = cards[subset]
+                champion: tuple[float, PlanNode] | None = None
+                # Iterate proper sub-masks; each (sub, rest) ordered pair
+                # is visited exactly once because ``sub`` ranges over all
+                # sub-masks.
+                sub = (mask - 1) & mask
+                while sub:
+                    rest = mask ^ sub
+                    left_entry = best.get(sub)
+                    right_entry = best.get(rest)
+                    if left_entry is not None and right_entry is not None:
+                        edge = self._crossing_edge(edge_bits, sub, rest)
+                        if edge is not None:
+                            candidate = self._best_join(
+                                subset,
+                                left_entry,
+                                right_entry,
+                                edge,
+                                cards,
+                            )
+                            if champion is None or candidate[0] < champion[0]:
+                                champion = candidate
+                    sub = (sub - 1) & mask
+                if champion is not None:
+                    best[mask] = champion
+
+        if full_mask not in best:
+            raise ValueError(f"no plan found for query {query.name!r} (disconnected join graph?)")
+        cost, plan = best[full_mask]
+        return PlannedQuery(query=query, plan=plan, estimated_cost=cost, cards=cards)
+
+    # -- internals ------------------------------------------------------------
+
+    def _best_scan(
+        self,
+        query: Query,
+        table: str,
+        cards: dict[frozenset[str], float],
+    ) -> ScanNode:
+        predicates = query.predicates_on(table)
+        seq = ScanNode(
+            tables=frozenset((table,)),
+            table=table,
+            predicates=predicates,
+            method=SCAN_SEQ,
+        )
+        primary_key = self._database.tables[table].schema.primary_key
+        indexed = [p for p in predicates if primary_key is not None and p.column == primary_key]
+        if not indexed:
+            return seq
+        index = ScanNode(
+            tables=frozenset((table,)),
+            table=table,
+            predicates=predicates,
+            method=SCAN_INDEX,
+            index_column=primary_key,
+        )
+        seq_cost = self._cost_model.scan_cost(seq, cards)
+        index_cost = self._cost_model.scan_cost(index, cards)
+        return index if index_cost < seq_cost else seq
+
+    def _crossing_edge(self, edge_bits, left_mask: int, right_mask: int):
+        """The single query edge crossing the bipartition, if any.
+
+        Tree-shaped join graphs have exactly one crossing edge for every
+        bipartition into two connected halves; zero means the halves are
+        only joinable via a Cartesian product, which the planner (like
+        PostgreSQL by default) refuses to consider.
+        """
+        crossing = None
+        for left_bit, right_bit, edge in edge_bits:
+            spans = (left_bit & left_mask and right_bit & right_mask) or (
+                left_bit & right_mask and right_bit & left_mask
+            )
+            if spans:
+                if crossing is not None:
+                    return None  # multiple crossing edges: not a tree split
+                crossing = edge
+        return crossing
+
+    def _best_join(
+        self,
+        subset: frozenset[str],
+        left_entry: tuple[float, PlanNode],
+        right_entry: tuple[float, PlanNode],
+        edge,
+        cards: dict[frozenset[str], float],
+    ) -> tuple[float, PlanNode]:
+        left_cost, left_plan = left_entry
+        right_cost, right_plan = right_entry
+        champion: tuple[float, PlanNode] | None = None
+
+        oriented = edge if edge.left in left_plan.tables else edge.reversed()
+        methods = [JOIN_HASH, JOIN_MERGE]
+        if isinstance(right_plan, ScanNode):
+            methods.append(JOIN_INDEX_NL)
+
+        for method in methods:
+            node = JoinNode(
+                tables=subset,
+                left=left_plan,
+                right=right_plan,
+                edge=oriented,
+                method=method,
+            )
+            cost = self._cost_model.join_cost(node, cards, left_cost, right_cost)
+            if champion is None or cost < champion[0]:
+                champion = (cost, node)
+        assert champion is not None
+        return champion

@@ -1,0 +1,128 @@
+"""Canonical-form selection predicates.
+
+The paper represents every selection query as
+``Q = {A_1 in R_1 and ... and A_n in R_n}`` where ``R_i`` is a
+constraint region over attribute ``A_i``.  :class:`Predicate` encodes
+one conjunct; a query carries a list of predicates per table.
+
+Supported operators: ``=``, ``<``, ``<=``, ``>``, ``>=``, ``between``
+(closed interval) and ``in`` (explicit value set).  Every operator is
+reducible to an interval or a finite set, which is what the canonical
+region accessors expose for estimators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.table import Table
+
+_COMPARISON_OPS = {"=", "<", "<=", ">", ">="}
+_ALL_OPS = _COMPARISON_OPS | {"between", "in"}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One filter conjunct ``table.column <op> value``.
+
+    ``value`` is a scalar for comparison operators, a ``(low, high)``
+    pair for ``between`` and a tuple of scalars for ``in``.
+    """
+
+    table: str
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _ALL_OPS:
+            raise ValueError(f"unsupported operator {self.op!r}")
+        if self.op == "between":
+            low, high = self.value  # type: ignore[misc]
+            if low > high:
+                raise ValueError(f"empty between range ({low}, {high})")
+        if self.op == "in" and not isinstance(self.value, tuple):
+            raise ValueError("'in' predicate requires a tuple of values")
+
+    # -- canonical region ------------------------------------------------
+
+    def interval(self) -> tuple[float, float]:
+        """Closed interval ``[low, high]`` covering the constraint region.
+
+        For ``in`` predicates this is the convex hull of the value set;
+        use :meth:`value_set` when exactness matters.
+        """
+        if self.op == "=":
+            return (float(self.value), float(self.value))  # type: ignore[arg-type]
+        if self.op == "<":
+            return (-math.inf, float(self.value) - _EPSILON)  # type: ignore[arg-type]
+        if self.op == "<=":
+            return (-math.inf, float(self.value))  # type: ignore[arg-type]
+        if self.op == ">":
+            return (float(self.value) + _EPSILON, math.inf)  # type: ignore[arg-type]
+        if self.op == ">=":
+            return (float(self.value), math.inf)  # type: ignore[arg-type]
+        if self.op == "between":
+            low, high = self.value  # type: ignore[misc]
+            return (float(low), float(high))
+        values = [float(v) for v in self.value]  # type: ignore[union-attr]
+        return (min(values), max(values))
+
+    def value_set(self) -> tuple[float, ...] | None:
+        """The explicit value set for ``=`` / ``in`` predicates, else None."""
+        if self.op == "=":
+            return (float(self.value),)  # type: ignore[arg-type]
+        if self.op == "in":
+            return tuple(float(v) for v in self.value)  # type: ignore[union-attr]
+        return None
+
+    # -- evaluation -------------------------------------------------------
+
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean mask of rows in ``table`` satisfying the predicate.
+
+        NULL values never satisfy a predicate (SQL three-valued logic
+        collapses to False under a WHERE clause).
+        """
+        column = table.column(self.column)
+        values = column.values
+        if self.op == "=":
+            result = values == self.value
+        elif self.op == "<":
+            result = values < self.value
+        elif self.op == "<=":
+            result = values <= self.value
+        elif self.op == ">":
+            result = values > self.value
+        elif self.op == ">=":
+            result = values >= self.value
+        elif self.op == "between":
+            low, high = self.value  # type: ignore[misc]
+            result = (values >= low) & (values <= high)
+        else:  # in
+            result = np.isin(values, np.asarray(self.value))
+        return result & ~column.null_mask
+
+    def to_sql(self) -> str:
+        """SQL-ish rendering, for reports and debugging."""
+        if self.op == "between":
+            low, high = self.value  # type: ignore[misc]
+            return f"{self.table}.{self.column} BETWEEN {low} AND {high}"
+        if self.op == "in":
+            inner = ", ".join(str(v) for v in self.value)  # type: ignore[union-attr]
+            return f"{self.table}.{self.column} IN ({inner})"
+        return f"{self.table}.{self.column} {self.op} {self.value}"
+
+
+_EPSILON = 1e-9
+
+
+def conjunction_mask(table: Table, predicates: list[Predicate]) -> np.ndarray:
+    """Mask of rows satisfying *all* predicates (empty list = all rows)."""
+    mask = np.ones(table.num_rows, dtype=bool)
+    for predicate in predicates:
+        mask &= predicate.mask(table)
+    return mask

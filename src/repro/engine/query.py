@@ -1,0 +1,122 @@
+"""Query representation: join edges plus canonical-form predicates.
+
+A :class:`Query` is an acyclic multi-table equi-join with conjunctive
+range/equality filters — exactly the query class of STATS-CEB and
+JOB-LIGHT.  Sub-plan queries (Section 4.2 of the paper) are produced
+with :meth:`Query.subquery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.catalog import JoinEdge
+from repro.engine.predicates import Predicate
+
+
+@dataclass(frozen=True)
+class Query:
+    """One benchmark query.
+
+    Attributes:
+        tables: the joined tables.
+        join_edges: equi-join conditions; must connect ``tables`` into
+            an acyclic (tree-shaped) join graph.
+        predicates: filter conjuncts, each naming one of ``tables``.
+        name: optional workload identifier (e.g. ``"stats-ceb-q57"``).
+    """
+
+    tables: frozenset[str]
+    join_edges: tuple[JoinEdge, ...] = ()
+    predicates: tuple[Predicate, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for edge in self.join_edges:
+            if edge.left not in self.tables or edge.right not in self.tables:
+                raise ValueError(f"join edge {edge} references a table outside {set(self.tables)}")
+        for predicate in self.predicates:
+            if predicate.table not in self.tables:
+                raise ValueError(
+                    f"predicate on {predicate.table!r} but query joins {set(self.tables)}"
+                )
+        if len(self.join_edges) > len(self.tables) - 1:
+            raise ValueError("cyclic join graphs are outside the benchmark query class")
+        if len(self.tables) > 1 and len(self.join_edges) < len(self.tables) - 1:
+            raise ValueError("join graph does not connect all tables")
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    def predicates_on(self, table: str) -> tuple[Predicate, ...]:
+        return tuple(p for p in self.predicates if p.table == table)
+
+    @property
+    def num_predicates(self) -> int:
+        return len(self.predicates)
+
+    def edges_within(self, tables: frozenset[str]) -> tuple[JoinEdge, ...]:
+        return tuple(
+            edge
+            for edge in self.join_edges
+            if edge.left in tables and edge.right in tables
+        )
+
+    # -- sub-plan queries ----------------------------------------------------
+
+    def subquery(self, tables: frozenset[str]) -> "Query":
+        """The sub-plan query restricted to ``tables``.
+
+        ``tables`` must be a connected subset of this query's join
+        graph; the sub-query keeps the join edges and predicates that
+        fall entirely within the subset.
+        """
+        if not tables <= self.tables:
+            raise ValueError(f"{set(tables)} is not a subset of {set(self.tables)}")
+        return Query(
+            tables=tables,
+            join_edges=self.edges_within(tables),
+            predicates=tuple(p for p in self.predicates if p.table in tables),
+            name=self.name,
+        )
+
+    def key(self) -> tuple:
+        """Hashable identity of the query's *semantics* (ignores name)."""
+        return (
+            tuple(sorted(self.tables)),
+            tuple(
+                sorted(
+                    (e.left, e.left_column, e.right, e.right_column)
+                    for e in self.join_edges
+                )
+            ),
+            tuple(
+                sorted(
+                    (p.table, p.column, p.op, p.value if not isinstance(p.value, tuple) else tuple(p.value))
+                    for p in self.predicates
+                )
+            ),
+        )
+
+    def to_sql(self) -> str:
+        """SQL-ish rendering for reports and debugging."""
+        tables = ", ".join(sorted(self.tables))
+        clauses = [
+            f"{e.left}.{e.left_column} = {e.right}.{e.right_column}"
+            for e in self.join_edges
+        ]
+        clauses.extend(p.to_sql() for p in self.predicates)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return f"SELECT COUNT(*) FROM {tables}{where}"
+
+
+@dataclass
+class LabeledQuery:
+    """A query annotated with its true cardinality (a workload entry)."""
+
+    query: Query
+    true_cardinality: int
+    sub_plan_true_cards: dict[frozenset[str], int] = field(default_factory=dict)

@@ -1,0 +1,260 @@
+"""SQL rendering and parsing for the benchmark query class.
+
+The benchmark's queries are exactly the class the paper evaluates:
+
+    SELECT COUNT(*) FROM t1, t2, ...
+    WHERE t1.k = t2.fk AND ... AND t.a <op> literal AND ...
+
+with conjunctive equi-joins and range/equality/IN filters.  This
+module renders :class:`repro.engine.query.Query` objects to that SQL
+dialect and parses it back — which is how workloads are exported to
+and imported from ``.sql`` files, mirroring the paper's released
+query sets.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.engine.catalog import JoinEdge, JoinGraph
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+
+
+class SqlParseError(ValueError):
+    """Raised when a query string is outside the benchmark dialect."""
+
+
+def query_to_sql(query: Query) -> str:
+    """Render a query in the benchmark SQL dialect (deterministic)."""
+    tables = ", ".join(sorted(query.tables))
+    clauses = [
+        f"{e.left}.{e.left_column} = {e.right}.{e.right_column}"
+        for e in query.join_edges
+    ]
+    clauses.extend(_predicate_sql(p) for p in query.predicates)
+    where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+    return f"SELECT COUNT(*) FROM {tables}{where};"
+
+
+def _predicate_sql(predicate: Predicate) -> str:
+    if predicate.op == "between":
+        low, high = predicate.value  # type: ignore[misc]
+        return (
+            f"{predicate.table}.{predicate.column} "
+            f"BETWEEN {_literal(low)} AND {_literal(high)}"
+        )
+    if predicate.op == "in":
+        inner = ", ".join(_literal(v) for v in predicate.value)  # type: ignore[union-attr]
+        return f"{predicate.table}.{predicate.column} IN ({inner})"
+    return f"{predicate.table}.{predicate.column} {predicate.op} {_literal(predicate.value)}"
+
+
+def _literal(value) -> str:
+    number = float(value)
+    if number == int(number):
+        return str(int(number))
+    return repr(number)
+
+
+# -- parsing ------------------------------------------------------------------
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<symbol><=|>=|<>|!=|[(),.*=<>;])"
+    r")"
+)
+
+_KEYWORDS = {"select", "count", "from", "where", "and", "between", "in"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "word" | "symbol"
+    text: str
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_PATTERN.match(sql, position)
+        if match is None:
+            remainder = sql[position:].strip()
+            if not remainder:
+                break
+            raise SqlParseError(f"unexpected input at: {remainder[:25]!r}")
+        position = match.end()
+        for kind in ("number", "word", "symbol"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append(_Token(kind, text))
+                break
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the benchmark dialect."""
+
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SqlParseError("unexpected end of query")
+        self._position += 1
+        return token
+
+    def _expect_word(self, keyword: str) -> None:
+        token = self._next()
+        if token.kind != "word" or token.lowered != keyword:
+            raise SqlParseError(f"expected {keyword.upper()!r}, found {token.text!r}")
+
+    def _expect_symbol(self, symbol: str) -> None:
+        token = self._next()
+        if token.kind != "symbol" or token.text != symbol:
+            raise SqlParseError(f"expected {symbol!r}, found {token.text!r}")
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "symbol" and token.text == symbol:
+            self._position += 1
+            return True
+        return False
+
+    def _accept_word(self, keyword: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "word" and token.lowered == keyword:
+            self._position += 1
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> tuple[list[str], list[tuple], list[Predicate]]:
+        self._expect_word("select")
+        self._expect_word("count")
+        self._expect_symbol("(")
+        self._expect_symbol("*")
+        self._expect_symbol(")")
+        self._expect_word("from")
+        tables = [self._identifier()]
+        while self._accept_symbol(","):
+            tables.append(self._identifier())
+
+        joins: list[tuple] = []
+        predicates: list[Predicate] = []
+        if self._accept_word("where"):
+            self._conjunct(joins, predicates)
+            while self._accept_word("and"):
+                self._conjunct(joins, predicates)
+        self._accept_symbol(";")
+        if self._peek() is not None:
+            raise SqlParseError(f"trailing input: {self._peek().text!r}")
+        return tables, joins, predicates
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.kind != "word" or token.lowered in _KEYWORDS:
+            raise SqlParseError(f"expected identifier, found {token.text!r}")
+        return token.text
+
+    def _column_ref(self) -> tuple[str, str]:
+        table = self._identifier()
+        self._expect_symbol(".")
+        return table, self._identifier()
+
+    def _number(self) -> float:
+        token = self._next()
+        if token.kind != "number":
+            raise SqlParseError(f"expected a numeric literal, found {token.text!r}")
+        return float(token.text)
+
+    def _conjunct(self, joins: list[tuple], predicates: list[Predicate]) -> None:
+        table, column = self._column_ref()
+        if self._accept_word("between"):
+            low = self._number()
+            self._expect_word("and")
+            high = self._number()
+            predicates.append(Predicate(table, column, "between", (low, high)))
+            return
+        if self._accept_word("in"):
+            self._expect_symbol("(")
+            values = [self._number()]
+            while self._accept_symbol(","):
+                values.append(self._number())
+            self._expect_symbol(")")
+            predicates.append(Predicate(table, column, "in", tuple(values)))
+            return
+        operator = self._next()
+        if operator.kind != "symbol" or operator.text not in ("=", "<", "<=", ">", ">="):
+            raise SqlParseError(f"unsupported operator {operator.text!r}")
+        token = self._peek()
+        if token is not None and token.kind == "word":
+            # column = column  ->  join condition
+            if operator.text != "=":
+                raise SqlParseError("non-equi joins are outside the benchmark dialect")
+            other_table, other_column = self._column_ref()
+            joins.append((table, column, other_table, other_column))
+            return
+        predicates.append(Predicate(table, column, operator.text, self._number()))
+
+
+def parse_query(
+    sql: str,
+    join_graph: JoinGraph | None = None,
+    name: str = "",
+) -> Query:
+    """Parse benchmark-dialect SQL into a :class:`Query`.
+
+    When a ``join_graph`` is given, each join condition is matched
+    against the schema's edges (recovering PK-FK orientation);
+    otherwise edges default to many-to-many orientation as written.
+    """
+    tables, joins, predicates = _Parser(_tokenize(sql)).parse()
+    edges = []
+    for left, left_column, right, right_column in joins:
+        edges.append(
+            _resolve_edge(join_graph, left, left_column, right, right_column)
+        )
+    return Query(
+        tables=frozenset(tables),
+        join_edges=tuple(edges),
+        predicates=tuple(predicates),
+        name=name,
+    )
+
+
+def _resolve_edge(
+    join_graph: JoinGraph | None,
+    left: str,
+    left_column: str,
+    right: str,
+    right_column: str,
+) -> JoinEdge:
+    if join_graph is not None:
+        written = {(left, left_column), (right, right_column)}
+        for edge in join_graph.edges:
+            schema_pair = {
+                (edge.left, edge.left_column),
+                (edge.right, edge.right_column),
+            }
+            if schema_pair == written:
+                return edge
+    return JoinEdge(left, left_column, right, right_column, one_to_many=False)

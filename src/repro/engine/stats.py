@@ -1,0 +1,194 @@
+"""ANALYZE-style per-column statistics.
+
+These mirror what PostgreSQL's ``ANALYZE`` collects into
+``pg_statistic``: row count, NULL fraction, number of distinct values,
+most-common values with their frequencies, and an equi-depth histogram
+over the remaining values.  The traditional estimators
+(:mod:`repro.estimators.postgres` and friends) are built on top of
+these summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.table import Table
+
+
+@dataclass
+class ColumnStats:
+    """Statistics of one column, over non-NULL values.
+
+    Attributes:
+        num_rows: total rows in the table (including NULLs).
+        null_frac: fraction of NULL values.
+        n_distinct: exact number of distinct non-NULL values.
+        mcv_values / mcv_freqs: most common values and their fractions
+            of the *total* row count.
+        hist_bounds: equi-depth histogram bucket bounds over non-MCV
+            values (length ``num_buckets + 1``); empty when all mass is
+            in the MCV list.
+        min_value / max_value: observed extremes.
+    """
+
+    num_rows: int
+    null_frac: float
+    n_distinct: int
+    mcv_values: np.ndarray
+    mcv_freqs: np.ndarray
+    hist_bounds: np.ndarray
+    min_value: float
+    max_value: float
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        column: str,
+        num_mcvs: int = 20,
+        num_buckets: int = 50,
+    ) -> "ColumnStats":
+        col = table.column(column)
+        total = table.num_rows
+        values = col.non_null_values()
+        if total == 0 or len(values) == 0:
+            return cls(
+                num_rows=total,
+                null_frac=1.0 if total else 0.0,
+                n_distinct=0,
+                mcv_values=np.empty(0),
+                mcv_freqs=np.empty(0),
+                hist_bounds=np.empty(0),
+                min_value=0.0,
+                max_value=0.0,
+            )
+        null_frac = 1.0 - len(values) / total
+        uniques, counts = np.unique(values, return_counts=True)
+        n_distinct = len(uniques)
+
+        # MCVs: PostgreSQL keeps values noticeably more frequent than
+        # average.  We keep up to ``num_mcvs`` values with count above
+        # the mean count, provided there are enough distinct values to
+        # make the split meaningful.
+        mcv_values = np.empty(0)
+        mcv_freqs = np.empty(0)
+        rest_values = values
+        if n_distinct > 1:
+            order = np.argsort(counts)[::-1]
+            mean_count = counts.mean()
+            selected = [i for i in order[:num_mcvs] if counts[i] > mean_count]
+            if selected:
+                mcv_values = uniques[selected].astype(float)
+                mcv_freqs = counts[selected] / total
+                rest_values = values[~np.isin(values, uniques[selected])]
+
+        if len(rest_values) > 0:
+            buckets = min(num_buckets, max(1, len(np.unique(rest_values)) - 1))
+            quantiles = np.linspace(0.0, 1.0, buckets + 1)
+            hist_bounds = np.quantile(rest_values, quantiles)
+        else:
+            hist_bounds = np.empty(0)
+
+        return cls(
+            num_rows=total,
+            null_frac=null_frac,
+            n_distinct=n_distinct,
+            mcv_values=mcv_values,
+            mcv_freqs=mcv_freqs,
+            hist_bounds=hist_bounds,
+            min_value=float(values.min()),
+            max_value=float(values.max()),
+        )
+
+    # -- selectivity primitives (PostgreSQL's var_eq_const / scalarineqsel)
+
+    @property
+    def mcv_total_freq(self) -> float:
+        return float(self.mcv_freqs.sum()) if len(self.mcv_freqs) else 0.0
+
+    def eq_selectivity(self, value: float) -> float:
+        """Selectivity of ``column = value`` (fraction of all rows)."""
+        if self.num_rows == 0 or self.n_distinct == 0:
+            return 0.0
+        if len(self.mcv_values):
+            matches = np.nonzero(self.mcv_values == value)[0]
+            if len(matches):
+                return float(self.mcv_freqs[matches[0]])
+        non_mcv_frac = max(0.0, 1.0 - self.null_frac - self.mcv_total_freq)
+        remaining_distinct = max(1, self.n_distinct - len(self.mcv_values))
+        if value < self.min_value or value > self.max_value:
+            return 0.0
+        return non_mcv_frac / remaining_distinct
+
+    def range_selectivity(self, low: float, high: float) -> float:
+        """Selectivity of ``low <= column <= high``."""
+        if self.num_rows == 0 or self.n_distinct == 0:
+            return 0.0
+        if low == high:
+            return self.eq_selectivity(low)
+        selectivity = 0.0
+        if len(self.mcv_values):
+            inside = (self.mcv_values >= low) & (self.mcv_values <= high)
+            selectivity += float(self.mcv_freqs[inside].sum())
+        non_mcv_frac = max(0.0, 1.0 - self.null_frac - self.mcv_total_freq)
+        if non_mcv_frac > 0 and len(self.hist_bounds) >= 2:
+            selectivity += non_mcv_frac * self._histogram_fraction(low, high)
+        return min(1.0, selectivity)
+
+    def _histogram_fraction(self, low: float, high: float) -> float:
+        """Fraction of histogram mass inside ``[low, high]`` with linear
+        interpolation within buckets (PostgreSQL's ineq_histogram_selectivity)."""
+        bounds = self.hist_bounds
+        buckets = len(bounds) - 1
+        if buckets <= 0:
+            return 0.0
+        if bounds[0] == bounds[-1]:
+            # Degenerate histogram (constant remainder).
+            return 1.0 if low <= float(bounds[0]) <= high else 0.0
+        low = max(low, float(bounds[0]))
+        high = min(high, float(bounds[-1]))
+        if low > high:
+            return 0.0
+        return self._cdf(high) - self._cdf(low)
+
+    def _cdf(self, value: float) -> float:
+        bounds = self.hist_bounds
+        buckets = len(bounds) - 1
+        if value <= bounds[0]:
+            return 0.0
+        if value >= bounds[-1]:
+            return 1.0
+        idx = int(np.searchsorted(bounds, value, side="right")) - 1
+        idx = min(idx, buckets - 1)
+        left, right = float(bounds[idx]), float(bounds[idx + 1])
+        within = 0.5 if right == left else (value - left) / (right - left)
+        return (idx + within) / buckets
+
+
+@dataclass
+class TableStats:
+    """ANALYZE output for one table: stats per column."""
+
+    num_rows: int
+    columns: dict[str, ColumnStats]
+
+    @classmethod
+    def build(cls, table: Table, num_mcvs: int = 20, num_buckets: int = 50) -> "TableStats":
+        columns = {
+            name: ColumnStats.build(table, name, num_mcvs=num_mcvs, num_buckets=num_buckets)
+            for name in table.schema.column_names
+        }
+        return cls(num_rows=table.num_rows, columns=columns)
+
+    def nbytes(self) -> int:
+        total = 0
+        for stats in self.columns.values():
+            total += (
+                stats.mcv_values.nbytes
+                + stats.mcv_freqs.nbytes
+                + stats.hist_bounds.nbytes
+                + 40
+            )
+        return total

@@ -1,0 +1,52 @@
+"""Value types and conventions shared across the engine.
+
+All column data is stored in numpy arrays.  Two logical column kinds
+exist, mirroring the paper's "numerical / categorical (n./c.)"
+attribute model:
+
+- ``INT``:    integer-valued (ids, counts, timestamps, and categorical
+              attributes whose values are mapped to integers),
+- ``FLOAT``:  continuous numerical attributes.
+
+NULLs are represented by a separate boolean mask per column (``True``
+means the value is NULL); the backing value under a NULL is undefined
+and must never be read without consulting the mask.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class ColumnKind(enum.Enum):
+    """Logical kind of a column."""
+
+    INT = "int"
+    FLOAT = "float"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """numpy dtype used to store values of this kind."""
+        if self is ColumnKind.INT:
+            return np.dtype(np.int64)
+        return np.dtype(np.float64)
+
+
+#: Number of bytes the cost model assumes one tuple of width ``w``
+#: columns occupies on disk (used to convert row counts to page counts).
+BYTES_PER_VALUE = 8
+
+#: Page size assumed by the cost model, in bytes (PostgreSQL default).
+PAGE_SIZE = 8192
+
+
+def pages_for(rows: float, width: int) -> float:
+    """Number of disk pages a relation of ``rows`` tuples of ``width``
+    columns occupies under the engine's storage assumptions.
+
+    Always at least one page, matching PostgreSQL's convention.
+    """
+    bytes_total = max(rows, 0.0) * max(width, 1) * BYTES_PER_VALUE
+    return max(1.0, bytes_total / PAGE_SIZE)

@@ -1,0 +1,36 @@
+"""Cardinality estimators evaluated by the benchmark.
+
+Traditional (Section 4.1, items 1-5):
+
+- :class:`repro.estimators.postgres.PostgresEstimator`
+- :class:`repro.estimators.multihist.MultiHistEstimator`
+- :class:`repro.estimators.unisample.UniSampleEstimator`
+- :class:`repro.estimators.wjsample.WanderJoinEstimator`
+- :class:`repro.estimators.pessest.PessimisticEstimator`
+
+ML-based query-driven (items 6-9):
+
+- :class:`repro.estimators.queryd.mscn.MSCNEstimator`
+- :class:`repro.estimators.queryd.lw_xgb.LWXGBEstimator`
+- :class:`repro.estimators.queryd.lw_nn.LWNNEstimator`
+- :class:`repro.estimators.queryd.uae_q.UAEQEstimator`
+
+ML-based data-driven (items 10-13) and the hybrid (item 14):
+
+- :class:`repro.estimators.datad.neurocard.NeuroCardEstimator`
+- :class:`repro.estimators.datad.bayescard.BayesCardEstimator`
+- :class:`repro.estimators.datad.deepdb.DeepDBEstimator`
+- :class:`repro.estimators.datad.flat.FlatEstimator`
+- :class:`repro.estimators.datad.uae.UAEEstimator`
+
+Plus the oracle :class:`repro.estimators.truecard.TrueCardEstimator`.
+"""
+
+from repro.estimators.base import CardinalityEstimator, QueryDrivenEstimator
+from repro.estimators.truecard import TrueCardEstimator
+
+__all__ = [
+    "CardinalityEstimator",
+    "QueryDrivenEstimator",
+    "TrueCardEstimator",
+]

@@ -1,0 +1,88 @@
+"""Estimator interfaces.
+
+Every CardEst method is an independent tool that plugs into the
+benchmark through one call: ``estimate(query) -> float``.  Data-driven
+and traditional methods learn from the database (``fit``); query-driven
+methods additionally require a labelled training workload
+(``fit_queries``).  Methods that support incremental maintenance
+implement ``update`` (the Table 6 experiment).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.engine.database import Database
+from repro.engine.query import Query
+from repro.engine.table import Table
+
+
+class CardinalityEstimator(abc.ABC):
+    """Base class for all CardEst methods."""
+
+    #: short display name used in the paper's tables.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.training_seconds: float = 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def fit(self, database: Database) -> "CardinalityEstimator":
+        """Build the model from the database; records training time."""
+        started = time.perf_counter()
+        self._fit(database)
+        self.training_seconds = time.perf_counter() - started
+        return self
+
+    @abc.abstractmethod
+    def _fit(self, database: Database) -> None:
+        """Model construction; implemented by subclasses."""
+
+    @abc.abstractmethod
+    def estimate(self, query: Query) -> float:
+        """Estimated cardinality of ``query`` (>= 0)."""
+
+    # -- practicality aspects ---------------------------------------------------
+
+    @property
+    def supports_update(self) -> bool:
+        """Whether :meth:`update` performs an incremental update (rather
+        than raising)."""
+        return False
+
+    def update(self, new_rows: dict[str, Table]) -> None:
+        """Incrementally absorb inserted rows (already added to the DB).
+
+        Only meaningful when :attr:`supports_update` is True; the
+        default raises to make accidental use loud, mirroring the
+        paper's observation that some methods simply cannot update.
+        """
+        raise NotImplementedError(f"{self.name} does not support incremental updates")
+
+    def model_size_bytes(self) -> int:
+        """Approximate size of the persisted model."""
+        return 0
+
+
+class QueryDrivenEstimator(CardinalityEstimator):
+    """Estimators trained from executed queries (MSCN, LW-*, UAE-Q).
+
+    ``fit`` only captures schema/featurization metadata; the actual
+    model is trained by :meth:`fit_queries` from (query, cardinality)
+    examples — the paper's 10^5 generated training queries.
+    """
+
+    def fit_queries(
+        self,
+        examples: list[tuple[Query, int]],
+    ) -> "QueryDrivenEstimator":
+        started = time.perf_counter()
+        self._fit_queries(examples)
+        self.training_seconds += time.perf_counter() - started
+        return self
+
+    @abc.abstractmethod
+    def _fit_queries(self, examples: list[tuple[Query, int]]) -> None:
+        """Train the regression model from labelled queries."""

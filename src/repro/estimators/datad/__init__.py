@@ -1,0 +1,24 @@
+"""ML-based data-driven estimators (paper Section 4.1, items 10-14).
+
+BayesCard, DeepDB and FLAT share the paper's "divide and conquer"
+approach through :mod:`repro.estimators.datad.fanout`: one density
+model per table (over attributes, binned join keys, and virtual
+fan-out columns) combined along the query's join tree.  NeuroCard
+instead trains a single deep autoregressive model per join-tree schema
+over a sample of the full outer join, reproducing the scalability
+behaviour the paper analyses in observation O3.
+"""
+
+from repro.estimators.datad.bayescard import BayesCardEstimator
+from repro.estimators.datad.deepdb import DeepDBEstimator
+from repro.estimators.datad.flat import FlatEstimator
+from repro.estimators.datad.neurocard import NeuroCardEstimator
+from repro.estimators.datad.uae import UAEEstimator
+
+__all__ = [
+    "BayesCardEstimator",
+    "DeepDBEstimator",
+    "FlatEstimator",
+    "NeuroCardEstimator",
+    "UAEEstimator",
+]

@@ -1,0 +1,328 @@
+"""DeepDB: sum-product networks for cardinality estimation (method 12).
+
+LearnSPN-style structure learning: attributes whose RDC score falls
+below the independence threshold are split into product nodes;
+otherwise rows are clustered (k-means) into sum nodes, recursing until
+single-column leaf histograms.  Highly correlated data therefore
+produces long chains of row splits — the paper's explanation for
+DeepDB's large models and long training times on STATS (observation
+O8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.estimators.datad.fanout import FanoutJoinEstimator, TableDensityModel
+from repro.estimators.ml.clustering import kmeans
+from repro.estimators.ml.rdc import rdc
+
+
+@dataclass
+class LeafNode:
+    """Per-column histogram leaf (with Laplace smoothing)."""
+
+    column: str
+    counts: np.ndarray
+    alpha: float = 0.1
+
+    def prob_vector(self) -> np.ndarray:
+        smoothed = self.counts + self.alpha
+        return smoothed / smoothed.sum()
+
+    def nbytes(self) -> int:
+        return self.counts.nbytes
+
+    def node_count(self) -> int:
+        return 1
+
+
+@dataclass
+class ProductNode:
+    """Independent column groups multiply."""
+
+    children: list = field(default_factory=list)
+
+    def nbytes(self) -> int:
+        return sum(child.nbytes() for child in self.children)
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+
+@dataclass
+class SumNode:
+    """Row clusters mix; centroids kept for routing updates."""
+
+    children: list = field(default_factory=list)
+    weights: np.ndarray = field(default_factory=lambda: np.empty(0))
+    centroids: np.ndarray = field(default_factory=lambda: np.empty(0))
+    cluster_columns: tuple[str, ...] = ()
+    counts: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def nbytes(self) -> int:
+        own = self.weights.nbytes + self.centroids.nbytes
+        return own + sum(child.nbytes() for child in self.children)
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+
+class SumProductNetwork(TableDensityModel):
+    """An SPN over one table's discretized columns."""
+
+    def __init__(
+        self,
+        binned: dict[str, np.ndarray],
+        num_bins: dict[str, int],
+        rdc_threshold: float = 0.3,
+        min_rows_fraction: float = 0.01,
+        max_sum_children: int = 2,
+        seed: int = 0,
+        rdc_sample: int = 3_000,
+    ):
+        self._num_bins = dict(num_bins)
+        self._rdc_threshold = rdc_threshold
+        self._max_sum_children = max_sum_children
+        self._rng = np.random.default_rng(seed)
+        self._rdc_sample = rdc_sample
+        self._num_rows = len(next(iter(binned.values()))) if binned else 0
+        self._min_rows = max(64, int(min_rows_fraction * self._num_rows))
+        self.root = self._learn(binned, tuple(sorted(binned)), depth=0)
+
+    # -- structure learning ----------------------------------------------------
+
+    def _learn(self, binned: dict[str, np.ndarray], columns: tuple[str, ...], depth: int):
+        rows = len(binned[columns[0]]) if columns else 0
+        if len(columns) == 1:
+            return self._leaf(binned, columns[0])
+        if rows <= self._min_rows or depth >= 12:
+            return ProductNode(children=[self._leaf(binned, c) for c in columns])
+
+        groups = self._independent_groups(binned, columns)
+        if len(groups) > 1:
+            return ProductNode(
+                children=[self._learn(binned, tuple(g), depth + 1) for g in groups]
+            )
+        return self._sum_split(binned, columns, depth)
+
+    def _leaf(self, binned: dict[str, np.ndarray], column: str) -> LeafNode:
+        counts = np.bincount(
+            binned[column], minlength=self._num_bins[column]
+        ).astype(np.float64)
+        return LeafNode(column=column, counts=counts)
+
+    def _independent_groups(
+        self,
+        binned: dict[str, np.ndarray],
+        columns: tuple[str, ...],
+    ) -> list[list[str]]:
+        """Connected components of the RDC > threshold graph."""
+        n = len(binned[columns[0]])
+        sample = (
+            self._rng.choice(n, size=self._rdc_sample, replace=False)
+            if n > self._rdc_sample
+            else np.arange(n)
+        )
+        adjacency = {c: set() for c in columns}
+        for i in range(len(columns)):
+            for j in range(i + 1, len(columns)):
+                score = rdc(
+                    binned[columns[i]][sample],
+                    binned[columns[j]][sample],
+                    seed=i * 131 + j,
+                )
+                if score > self._rdc_threshold:
+                    adjacency[columns[i]].add(columns[j])
+                    adjacency[columns[j]].add(columns[i])
+        groups: list[list[str]] = []
+        unvisited = set(columns)
+        while unvisited:
+            seed_col = min(unvisited)
+            component = {seed_col}
+            frontier = [seed_col]
+            while frontier:
+                current = frontier.pop()
+                for neighbor in adjacency[current]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            groups.append(sorted(component))
+            unvisited -= component
+        return groups
+
+    def _sum_split(self, binned: dict[str, np.ndarray], columns: tuple[str, ...], depth: int):
+        data = np.column_stack([binned[c] for c in columns]).astype(np.float64)
+        labels = kmeans(data, self._max_sum_children, self._rng)
+        clusters = np.unique(labels)
+        if len(clusters) <= 1:
+            return ProductNode(children=[self._leaf(binned, c) for c in columns])
+        children = []
+        weights = []
+        centroids = []
+        counts = []
+        for cluster in clusters:
+            member_rows = np.nonzero(labels == cluster)[0]
+            subset = {c: binned[c][member_rows] for c in columns}
+            children.append(self._learn(subset, columns, depth + 1))
+            weights.append(len(member_rows) / len(labels))
+            centroids.append(data[member_rows].mean(axis=0))
+            counts.append(float(len(member_rows)))
+        return SumNode(
+            children=children,
+            weights=np.asarray(weights),
+            centroids=np.asarray(centroids),
+            cluster_columns=columns,
+            counts=np.asarray(counts),
+        )
+
+    # -- inference ---------------------------------------------------------------
+
+    def prob(self, coverages: dict[str, np.ndarray]) -> float:
+        return float(self._evaluate(self.root, coverages))
+
+    def prob_by_bin(self, coverages: dict[str, np.ndarray], target: str) -> np.ndarray:
+        result = self._evaluate_vector(self.root, coverages, target)
+        if np.isscalar(result) or result.ndim == 0:
+            # Target column absent below this node: spread uniformly.
+            return np.full(self._num_bins[target], float(result) / self._num_bins[target])
+        return result
+
+    def _evaluate(self, node, coverages: dict[str, np.ndarray]) -> float:
+        if isinstance(node, LeafNode):
+            coverage = coverages.get(node.column)
+            probabilities = node.prob_vector()
+            if coverage is None:
+                return 1.0
+            return float((probabilities * coverage).sum())
+        if isinstance(node, ProductNode):
+            result = 1.0
+            for child in node.children:
+                result *= self._evaluate(child, coverages)
+            return result
+        assert isinstance(node, SumNode)
+        return float(
+            sum(
+                w * self._evaluate(child, coverages)
+                for w, child in zip(node.weights, node.children)
+            )
+        )
+
+    def _evaluate_vector(self, node, coverages: dict[str, np.ndarray], target: str):
+        """Like ``_evaluate`` but keeps ``target``'s bins as a vector."""
+        if isinstance(node, LeafNode):
+            probabilities = node.prob_vector()
+            coverage = coverages.get(node.column)
+            if node.column == target:
+                return probabilities * coverage if coverage is not None else probabilities
+            if coverage is None:
+                return 1.0
+            return float((probabilities * coverage).sum())
+        if isinstance(node, ProductNode):
+            scalar = 1.0
+            vector = None
+            for child in node.children:
+                value = self._evaluate_vector(child, coverages, target)
+                if np.isscalar(value) or np.ndim(value) == 0:
+                    scalar *= float(value)
+                elif vector is None:
+                    vector = value
+                else:  # defensive: the target lives below one child only
+                    vector = vector * value
+            return scalar * vector if vector is not None else scalar
+        assert isinstance(node, SumNode)
+        values = [
+            self._evaluate_vector(child, coverages, target)
+            for child in node.children
+        ]
+        if all(np.isscalar(value) or np.ndim(value) == 0 for value in values):
+            # The target column does not live below this sum: stay scalar
+            # so an enclosing product keeps the real target vector intact.
+            return float(sum(w * float(v) for w, v in zip(node.weights, values)))
+        total = None
+        for w, value in zip(node.weights, values):
+            contribution = w * (
+                value
+                if not (np.isscalar(value) or np.ndim(value) == 0)
+                else np.full(self._num_bins[target], float(value) / self._num_bins[target])
+            )
+            total = contribution if total is None else total + contribution
+        return total
+
+    # -- updates ------------------------------------------------------------------
+
+    def update(self, binned: dict[str, np.ndarray]) -> None:
+        """Route new rows down the existing structure, updating leaf
+        histograms and sum weights; structure is preserved (the source
+        of post-update inaccuracy the paper measures in Table 6)."""
+        rows = len(next(iter(binned.values()))) if binned else 0
+        if rows == 0:
+            return
+        self._update_node(self.root, binned)
+        self._num_rows += rows
+
+    def _update_node(self, node, binned: dict[str, np.ndarray]) -> None:
+        rows = len(next(iter(binned.values())))
+        if rows == 0:
+            return
+        if isinstance(node, LeafNode):
+            node.counts += np.bincount(
+                binned[node.column], minlength=self._num_bins[node.column]
+            )
+            return
+        if isinstance(node, ProductNode):
+            for child in node.children:
+                self._update_node(child, binned)
+            return
+        assert isinstance(node, SumNode)
+        data = np.column_stack([binned[c] for c in node.cluster_columns]).astype(np.float64)
+        distances = ((data[:, None, :] - node.centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        for cluster, child in enumerate(node.children):
+            member_rows = np.nonzero(labels == cluster)[0]
+            node.counts[cluster] += len(member_rows)
+            if len(member_rows):
+                subset = {c: binned[c][member_rows] for c in node.cluster_columns}
+                self._update_node(child, subset)
+        node.weights = node.counts / node.counts.sum()
+
+    def nbytes(self) -> int:
+        return self.root.nbytes()
+
+    def node_count(self) -> int:
+        return self.root.node_count()
+
+
+class DeepDBEstimator(FanoutJoinEstimator):
+    """SPN ensemble combined by the fan-out join framework."""
+
+    name = "DeepDB"
+
+    def __init__(
+        self,
+        rdc_threshold: float = 0.3,
+        min_rows_fraction: float = 0.01,
+        max_attribute_bins: int = 24,
+        key_buckets: int = 32,
+        joint_fanout: bool = True,
+        seed: int = 0,
+    ):
+        super().__init__(
+            max_attribute_bins=max_attribute_bins,
+            key_buckets=key_buckets,
+            joint_fanout=joint_fanout,
+        )
+        self._rdc_threshold = rdc_threshold
+        self._min_rows_fraction = min_rows_fraction
+        self._seed = seed
+
+    def _build_model(self, table_name, binned, num_bins) -> SumProductNetwork:
+        return SumProductNetwork(
+            binned,
+            num_bins,
+            rdc_threshold=self._rdc_threshold,
+            min_rows_fraction=self._min_rows_fraction,
+            seed=self._seed + hash(table_name) % 1000,
+        )

@@ -1,0 +1,297 @@
+"""Column discretization shared by the data-driven estimators.
+
+Every table is modelled over *discrete bins*:
+
+- **attribute columns** use equi-depth bins over their value domain
+  (exact per-value bins when the domain is small), with bin 0 reserved
+  for NULL;
+- **join-key columns** use equi-width buckets over their *key class*
+  domain, shared by every column in the class so that bucket ``b`` of
+  ``users.Id`` and of ``badges.UserId`` covers the same key values;
+- **virtual fan-out columns** (per outgoing one-to-many edge) count a
+  row's matches in the referencing table and are binned on a log-ish
+  scale, keeping a per-bin mean degree for expectation queries.
+
+Predicates are translated to per-bin *coverage vectors*: entry ``b``
+is the fraction of bin ``b``'s values the predicate admits (NULL bin
+coverage is always zero — NULLs never satisfy predicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.catalog import JoinGraph
+from repro.engine.database import Database
+from repro.engine.predicates import Predicate
+from repro.engine.table import Column
+
+
+@dataclass
+class AttributeBinner:
+    """Equi-depth bins over one attribute; bin 0 is NULL.
+
+    ``edges`` has one entry per non-NULL bin boundary; value bins are
+    exact (one value per bin) when the domain fits ``max_bins``.
+    """
+
+    edges: np.ndarray  # bin boundaries, length num_value_bins + 1
+    exact_values: np.ndarray | None  # per-bin single value when exact
+    distinct_per_bin: np.ndarray  # distinct non-null values per bin
+
+    @property
+    def num_bins(self) -> int:
+        """Total bins including the NULL bin."""
+        return len(self.distinct_per_bin) + 1
+
+    @classmethod
+    def build(cls, column: Column, max_bins: int = 24) -> "AttributeBinner":
+        values = column.non_null_values().astype(np.float64)
+        if len(values) == 0:
+            return cls(
+                edges=np.array([0.0, 1.0]),
+                exact_values=None,
+                distinct_per_bin=np.array([0]),
+            )
+        domain = np.unique(values)
+        if len(domain) <= max_bins:
+            return cls(
+                edges=np.concatenate([domain, [domain[-1] + 1.0]]),
+                exact_values=domain,
+                distinct_per_bin=np.ones(len(domain), dtype=np.int64),
+            )
+        quantiles = np.linspace(0.0, 1.0, max_bins + 1)
+        edges = np.unique(np.quantile(values, quantiles))
+        if len(edges) < 2:
+            edges = np.array([edges[0], edges[0] + 1.0])
+        edges = edges.astype(np.float64)
+        edges[-1] = np.nextafter(edges[-1], np.inf)
+        bins = np.clip(np.searchsorted(edges, domain, side="right") - 1, 0, len(edges) - 2)
+        distinct = np.bincount(bins, minlength=len(edges) - 1)
+        return cls(edges=edges, exact_values=None, distinct_per_bin=distinct)
+
+    def encode(self, column: Column) -> np.ndarray:
+        """Bin ids for all rows (0 = NULL, value bins start at 1)."""
+        values = column.values.astype(np.float64)
+        bins = np.clip(
+            np.searchsorted(self.edges, values, side="right") - 1,
+            0,
+            len(self.distinct_per_bin) - 1,
+        )
+        encoded = bins + 1
+        encoded[column.null_mask] = 0
+        return encoded.astype(np.int64)
+
+    def coverage(self, predicate: Predicate) -> np.ndarray:
+        """Per-bin admitted fraction (index 0 = NULL bin, always 0)."""
+        out = np.zeros(self.num_bins)
+        value_set = predicate.value_set()
+        if value_set is not None:
+            for value in value_set:
+                out[1:] += self._point_coverage(value)
+            return np.clip(out, 0.0, 1.0)
+        low, high = predicate.interval()
+        out[1:] = self._range_coverage(low, high)
+        return out
+
+    def _point_coverage(self, value: float) -> np.ndarray:
+        """Boundary bins are open-ended (PostgreSQL histogram style):
+        values outside the trained range fall into the first/last bin,
+        which is where :meth:`encode` clips newly inserted rows — so a
+        structure-frozen model stays sane after data updates instead of
+        emitting hard zeros."""
+        bins = len(self.distinct_per_bin)
+        coverage = np.zeros(bins)
+        if self.exact_values is not None:
+            hits = np.nonzero(self.exact_values == value)[0]
+            if len(hits):
+                coverage[hits[0]] = 1.0
+            elif value > self.exact_values[-1]:
+                coverage[-1] = 1.0
+            elif value < self.exact_values[0]:
+                coverage[0] = 1.0
+            return coverage
+        idx = int(np.clip(np.searchsorted(self.edges, value, side="right") - 1, 0, bins - 1))
+        coverage[idx] = 1.0 / max(int(self.distinct_per_bin[idx]), 1)
+        return coverage
+
+    def _range_coverage(self, low: float, high: float) -> np.ndarray:
+        bins = len(self.distinct_per_bin)
+        if self.exact_values is not None:
+            coverage = ((self.exact_values >= low) & (self.exact_values <= high)).astype(float)
+            if low > self.exact_values[-1]:
+                coverage[-1] = 1.0  # open-ended top bin
+            if high < self.exact_values[0]:
+                coverage[0] = 1.0  # open-ended bottom bin
+            return coverage
+        lefts = self.edges[:-1]
+        rights = self.edges[1:]
+        widths = np.maximum(rights - lefts, 1e-12)
+        overlap = np.minimum(rights, high) - np.maximum(lefts, low)
+        coverage = np.clip(overlap / widths, 0.0, 1.0)[:bins]
+        if low >= float(self.edges[-1]):
+            coverage[-1] = 1.0  # range entirely above the trained span
+        if high <= float(self.edges[0]):
+            coverage[0] = 1.0  # range entirely below the trained span
+        return coverage
+
+    def nbytes(self) -> int:
+        total = self.edges.nbytes + self.distinct_per_bin.nbytes
+        if self.exact_values is not None:
+            total += self.exact_values.nbytes
+        return total
+
+
+@dataclass
+class KeyClassBinner:
+    """Equi-width buckets over a key class's id domain; bin 0 is NULL."""
+
+    low: float
+    high: float
+    num_buckets: int
+
+    @property
+    def num_bins(self) -> int:
+        return self.num_buckets + 1
+
+    def encode(self, column: Column) -> np.ndarray:
+        width = max((self.high - self.low) / self.num_buckets, 1e-12)
+        bins = np.floor((column.values.astype(np.float64) - self.low) / width)
+        bins = np.clip(bins, 0, self.num_buckets - 1).astype(np.int64) + 1
+        bins[column.null_mask] = 0
+        return bins
+
+    def non_null_coverage(self) -> np.ndarray:
+        out = np.ones(self.num_bins)
+        out[0] = 0.0
+        return out
+
+
+@dataclass
+class FanoutBinner:
+    """Log-scale bins over a degree column with per-bin mean degrees."""
+
+    edges: np.ndarray  # integer degree boundaries
+    mean_degree: np.ndarray  # representative degree per bin
+
+    @property
+    def num_bins(self) -> int:
+        # Fan-out degrees are never NULL, but bin layout stays uniform
+        # with the others: index 0 is an (unused) NULL bin.
+        return len(self.mean_degree) + 1
+
+    @classmethod
+    def build(cls, degrees: np.ndarray, max_bins: int = 12) -> "FanoutBinner":
+        max_degree = int(degrees.max(initial=0))
+        boundaries = [0, 1, 2, 3, 4]
+        value = 4
+        while value < max_degree and len(boundaries) < max_bins:
+            value = max(value + 1, int(value * 1.8))
+            boundaries.append(value)
+        if boundaries[-1] < max_degree:
+            boundaries.append(max_degree)
+        edges = np.array(sorted(set(boundaries)), dtype=np.float64)
+        bins = np.clip(np.searchsorted(edges, degrees, side="right") - 1, 0, len(edges) - 1)
+        means = np.zeros(len(edges))
+        for b in range(len(edges)):
+            members = degrees[bins == b]
+            means[b] = members.mean() if len(members) else edges[b]
+        return cls(edges=edges, mean_degree=means)
+
+    def encode(self, degrees: np.ndarray) -> np.ndarray:
+        bins = np.clip(
+            np.searchsorted(self.edges, degrees, side="right") - 1,
+            0,
+            len(self.mean_degree) - 1,
+        )
+        return bins.astype(np.int64) + 1
+
+    def representatives(self) -> np.ndarray:
+        """Per-bin mean degree, aligned with bin ids (index 0 = unused)."""
+        return np.concatenate([[0.0], self.mean_degree])
+
+    def nbytes(self) -> int:
+        return self.edges.nbytes + self.mean_degree.nbytes
+
+
+def key_classes(graph: JoinGraph) -> dict[tuple[str, str], int]:
+    """Union-find over (table, column) pairs connected by join edges.
+
+    Returns a mapping from each key column to its class id; columns in
+    the same class share bucket boundaries.
+    """
+    parent: dict[tuple[str, str], tuple[str, str]] = {}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for edge in graph.edges:
+        for node in ((edge.left, edge.left_column), (edge.right, edge.right_column)):
+            parent.setdefault(node, node)
+        a, b = find((edge.left, edge.left_column)), find((edge.right, edge.right_column))
+        if a != b:
+            parent[a] = b
+
+    roots: dict[tuple[str, str], int] = {}
+    result = {}
+    for node in parent:
+        root = find(node)
+        if root not in roots:
+            roots[root] = len(roots)
+        result[node] = roots[root]
+    return result
+
+
+@dataclass
+class SchemaDiscretizer:
+    """All binners for one database."""
+
+    attribute_binners: dict[tuple[str, str], AttributeBinner] = field(default_factory=dict)
+    key_binners: dict[int, KeyClassBinner] = field(default_factory=dict)
+    key_class_of: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        database: Database,
+        max_attribute_bins: int = 24,
+        key_buckets: int = 32,
+    ) -> "SchemaDiscretizer":
+        disc = cls()
+        disc.key_class_of = key_classes(database.join_graph)
+
+        class_values: dict[int, list[np.ndarray]] = {}
+        for (table, column), class_id in disc.key_class_of.items():
+            values = database.tables[table].column(column).non_null_values()
+            class_values.setdefault(class_id, []).append(values)
+        for class_id, arrays in class_values.items():
+            merged = np.concatenate(arrays) if arrays else np.array([0])
+            low = float(merged.min(initial=0))
+            high = float(merged.max(initial=1)) + 1.0
+            disc.key_binners[class_id] = KeyClassBinner(
+                low=low, high=high, num_buckets=key_buckets
+            )
+
+        for name, table in database.tables.items():
+            for meta in table.schema.filterable_columns:
+                disc.attribute_binners[(name, meta.name)] = AttributeBinner.build(
+                    table.column(meta.name), max_bins=max_attribute_bins
+                )
+        return disc
+
+    def key_binner_for(self, table: str, column: str) -> KeyClassBinner:
+        return self.key_binners[self.key_class_of[(table, column)]]
+
+    def coverage(self, predicate: Predicate) -> np.ndarray:
+        binner = self.attribute_binners[(predicate.table, predicate.column)]
+        return binner.coverage(predicate)
+
+    def nbytes(self) -> int:
+        return sum(b.nbytes() for b in self.attribute_binners.values()) + 64 * len(
+            self.key_binners
+        )

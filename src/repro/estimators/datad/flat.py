@@ -1,0 +1,306 @@
+"""FLAT: factorize-split-sum-product networks (method 13).
+
+FSPNs extend SPNs with *factorize* nodes: attribute groups whose RDC
+score exceeds the high-correlation threshold (0.7 in the paper) are
+taken out of the sum/product recursion and modelled directly as joint
+"multi-leaf" histograms, while the weakly correlated remainder is
+learned as a regular SPN.  FLAT's defining trick — modelling
+``P(H | W)`` rather than assuming the highly correlated group H
+independent of the rest W — is realized here through an *anchor*
+column: each multi-leaf stores the joint histogram of its group
+together with the most-correlated remaining column and is evaluated
+conditionally on that anchor, so cross-group coupling survives while
+the anchor's own marginal stays with the SPN side.
+
+On highly correlated data (STATS) this avoids the long sum-node
+chains that blow up DeepDB's model — the behaviour behind FLAT's
+best-in-class end-to-end time in the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.estimators.datad.deepdb import ProductNode, SumProductNetwork
+from repro.estimators.datad.fanout import FanoutJoinEstimator
+from repro.estimators.ml.rdc import rdc
+
+
+@dataclass
+class MultiLeafNode:
+    """Joint histogram over a correlated column group.
+
+    When ``anchor`` is set, axis 0 of ``counts`` ranges over the
+    anchor's bins and the node evaluates *conditionally*:
+    ``P(group region | anchor region)``.  The anchor's marginal is
+    modelled elsewhere (it stays in the SPN's remaining columns).
+    """
+
+    columns: tuple[str, ...]
+    counts: np.ndarray
+    anchor: str | None = None
+    alpha: float = 0.1
+
+    def prob_tensor(self) -> np.ndarray:
+        smoothed = self.counts + self.alpha / self.counts.size
+        return smoothed / smoothed.sum()
+
+    @property
+    def all_columns(self) -> tuple[str, ...]:
+        if self.anchor is None:
+            return self.columns
+        return (self.anchor, *self.columns)
+
+    def nbytes(self) -> int:
+        return self.counts.nbytes
+
+    def node_count(self) -> int:
+        return 1
+
+
+class FactorizedSPN(SumProductNetwork):
+    """SPN with factorize nodes (anchored joint multi-leaves)."""
+
+    def __init__(
+        self,
+        binned: dict[str, np.ndarray],
+        num_bins: dict[str, int],
+        factorize_threshold: float = 0.7,
+        rdc_threshold: float = 0.3,
+        min_rows_fraction: float = 0.01,
+        max_leaf_columns: int = 3,
+        min_factorize_depth: int = 2,
+        seed: int = 0,
+    ):
+        self._factorize_threshold = factorize_threshold
+        self._max_leaf_columns = max_leaf_columns
+        self._min_factorize_depth = min_factorize_depth
+        super().__init__(
+            binned,
+            num_bins,
+            rdc_threshold=rdc_threshold,
+            min_rows_fraction=min_rows_fraction,
+            seed=seed,
+        )
+
+    # -- structure learning ---------------------------------------------------
+
+    def _learn(self, binned: dict[str, np.ndarray], columns: tuple[str, ...], depth: int):
+        # Factorize only after a couple of sum/product splits have
+        # carved the data (FLAT's split-then-factorize recursion); the
+        # conditional multi-leaves then model the per-region joints.
+        if len(columns) >= 2 and self._min_factorize_depth <= depth <= 6:
+            group = self._highly_correlated_group(binned, columns)
+            if group is not None:
+                rest = tuple(c for c in columns if c not in group)
+                anchor = self._pick_anchor(binned, group, rest)
+                multi_leaf = self._multi_leaf(binned, group, anchor)
+                if not rest:
+                    return multi_leaf
+                # Factorize node: P(W) * P(H | anchor in W).
+                return ProductNode(
+                    children=[multi_leaf, super()._learn(binned, rest, depth + 1)]
+                )
+        return super()._learn(binned, columns, depth)
+
+    def _highly_correlated_group(
+        self,
+        binned: dict[str, np.ndarray],
+        columns: tuple[str, ...],
+    ) -> tuple[str, ...] | None:
+        """Greedy seed-and-grow group with RDC above the high threshold."""
+        n = len(binned[columns[0]])
+        sample = (
+            self._rng.choice(n, size=self._rdc_sample, replace=False)
+            if n > self._rdc_sample
+            else np.arange(n)
+        )
+        best_pair = None
+        best_score = self._factorize_threshold
+        for i in range(len(columns)):
+            for j in range(i + 1, len(columns)):
+                score = rdc(
+                    binned[columns[i]][sample],
+                    binned[columns[j]][sample],
+                    seed=i * 131 + j,
+                )
+                if score > best_score:
+                    best_score = score
+                    best_pair = (columns[i], columns[j])
+        if best_pair is None:
+            return None
+        group = list(best_pair)
+        for candidate in columns:
+            if candidate in group or len(group) >= self._max_leaf_columns:
+                continue
+            scores = [
+                rdc(binned[candidate][sample], binned[m][sample], seed=97)
+                for m in group
+            ]
+            if min(scores) > self._factorize_threshold:
+                group.append(candidate)
+        return tuple(sorted(group))
+
+    def _pick_anchor(
+        self,
+        binned: dict[str, np.ndarray],
+        group: tuple[str, ...],
+        rest: tuple[str, ...],
+    ) -> str | None:
+        """The remaining column most correlated with the group, if any
+        clears the (low) dependence threshold."""
+        if not rest:
+            return None
+        n = len(binned[group[0]])
+        sample = (
+            self._rng.choice(n, size=min(self._rdc_sample, n), replace=False)
+            if n > self._rdc_sample
+            else np.arange(n)
+        )
+        best, best_score = None, self._rdc_threshold
+        for candidate in rest:
+            score = max(
+                rdc(binned[candidate][sample], binned[m][sample], seed=53)
+                for m in group
+            )
+            if score > best_score:
+                best, best_score = candidate, score
+        return best
+
+    def _multi_leaf(
+        self,
+        binned: dict[str, np.ndarray],
+        columns: tuple[str, ...],
+        anchor: str | None,
+    ) -> MultiLeafNode:
+        axes = ((anchor,) if anchor else ()) + tuple(columns)
+        shape = tuple(self._num_bins[c] for c in axes)
+        flat = np.zeros(int(np.prod(shape)), dtype=np.float64)
+        index = np.zeros(len(binned[columns[0]]), dtype=np.int64)
+        for c in axes:
+            index = index * self._num_bins[c] + binned[c]
+        np.add.at(flat, index, 1.0)
+        return MultiLeafNode(
+            columns=tuple(columns), counts=flat.reshape(shape), anchor=anchor
+        )
+
+    # -- inference ---------------------------------------------------------------
+
+    def _leaf_masses(
+        self,
+        node: MultiLeafNode,
+        coverages,
+        target: str | None,
+    ):
+        """(numerator, denominator) of the conditional leaf probability.
+
+        The numerator applies every available coverage (and keeps the
+        target axis, when requested); the denominator applies only the
+        anchor's coverage, realizing ``P(group | anchor)``.
+        """
+        tensor = node.prob_tensor()
+        denominator_tensor = tensor
+        axes = node.all_columns
+        # Denominator: marginalize everything but the anchor, applying
+        # the anchor's coverage if present.
+        if node.anchor is not None:
+            anchor_coverage = coverages.get(node.anchor)
+            if anchor_coverage is not None:
+                shape = [1] * tensor.ndim
+                shape[0] = len(anchor_coverage)
+                denominator_tensor = denominator_tensor * anchor_coverage.reshape(shape)
+                tensor = tensor * anchor_coverage.reshape(shape)
+            denominator = float(denominator_tensor.sum())
+        else:
+            denominator = 1.0
+
+        target_axis = None
+        for axis, column in enumerate(axes):
+            if column == node.anchor:
+                continue  # anchor coverage already applied
+            coverage = coverages.get(column)
+            if column == target:
+                target_axis = axis
+                if coverage is not None:
+                    shape = [1] * tensor.ndim
+                    shape[axis] = len(coverage)
+                    tensor = tensor * coverage.reshape(shape)
+                continue
+            if coverage is not None:
+                shape = [1] * tensor.ndim
+                shape[axis] = len(coverage)
+                tensor = tensor * coverage.reshape(shape)
+        if target_axis is None:
+            return float(tensor.sum()), denominator
+        other_axes = tuple(a for a in range(tensor.ndim) if a != target_axis)
+        return tensor.sum(axis=other_axes), denominator
+
+    def _evaluate(self, node, coverages):
+        if isinstance(node, MultiLeafNode):
+            numerator, denominator = self._leaf_masses(node, coverages, target=None)
+            return float(numerator) / max(denominator, 1e-12)
+        return super()._evaluate(node, coverages)
+
+    def _evaluate_vector(self, node, coverages, target):
+        if isinstance(node, MultiLeafNode):
+            if target not in node.columns:
+                return self._evaluate(node, coverages)
+            numerator, denominator = self._leaf_masses(node, coverages, target=target)
+            return numerator / max(denominator, 1e-12)
+        return super()._evaluate_vector(node, coverages, target)
+
+    # -- updates --------------------------------------------------------------------
+
+    def _update_node(self, node, binned):
+        if isinstance(node, MultiLeafNode):
+            index = np.zeros(len(next(iter(binned.values()))), dtype=np.int64)
+            for c in node.all_columns:
+                index = index * self._num_bins[c] + binned[c]
+            flat = node.counts.reshape(-1)
+            np.add.at(flat, index, 1.0)
+            return
+        super()._update_node(node, binned)
+
+
+class FlatEstimator(FanoutJoinEstimator):
+    """FSPNs combined by the fan-out join framework."""
+
+    name = "FLAT"
+
+    def __init__(
+        self,
+        factorize_threshold: float = 0.7,
+        rdc_threshold: float = 0.3,
+        min_rows_fraction: float = 0.01,
+        max_attribute_bins: int = 24,
+        key_buckets: int = 32,
+        max_leaf_columns: int = 3,
+        min_factorize_depth: int = 2,
+        joint_fanout: bool = True,
+        seed: int = 0,
+    ):
+        super().__init__(
+            max_attribute_bins=max_attribute_bins,
+            key_buckets=key_buckets,
+            joint_fanout=joint_fanout,
+        )
+        self._factorize_threshold = factorize_threshold
+        self._rdc_threshold = rdc_threshold
+        self._min_rows_fraction = min_rows_fraction
+        self._max_leaf_columns = max_leaf_columns
+        self._min_factorize_depth = min_factorize_depth
+        self._seed = seed
+
+    def _build_model(self, table_name, binned, num_bins) -> FactorizedSPN:
+        return FactorizedSPN(
+            binned,
+            num_bins,
+            factorize_threshold=self._factorize_threshold,
+            rdc_threshold=self._rdc_threshold,
+            min_rows_fraction=self._min_rows_fraction,
+            max_leaf_columns=self._max_leaf_columns,
+            min_factorize_depth=self._min_factorize_depth,
+            seed=self._seed + hash(table_name) % 1000,
+        )

@@ -1,0 +1,14 @@
+"""A small from-scratch ML substrate (no torch available offline).
+
+- :mod:`repro.estimators.ml.nn` — dense networks with Adam/backprop.
+- :mod:`repro.estimators.ml.gbdt` — histogram gradient-boosted trees.
+- :mod:`repro.estimators.ml.made` — masked autoregressive density model.
+- :mod:`repro.estimators.ml.rdc` — randomized dependence coefficient.
+- :mod:`repro.estimators.ml.clustering` — k-means row clustering.
+"""
+
+from repro.estimators.ml.gbdt import GradientBoostedTrees
+from repro.estimators.ml.nn import MLP, AdamOptimizer
+from repro.estimators.ml.rdc import rdc
+
+__all__ = ["MLP", "AdamOptimizer", "GradientBoostedTrees", "rdc"]

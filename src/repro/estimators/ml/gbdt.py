@@ -1,0 +1,188 @@
+"""Histogram gradient-boosted regression trees (the XGBoost stand-in).
+
+Squared-loss boosting with depth-limited regression trees whose splits
+are searched over per-feature histogram bins — the same model family
+LW-XGB uses, sized for the benchmark's feature dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _TreeNode:
+    """One node of a regression tree (leaf when ``feature`` is None)."""
+
+    value: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_TreeNode | None" = None
+    right: "_TreeNode | None" = None
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.feature is None:
+            return np.full(len(x), self.value)
+        go_left = x[:, self.feature] <= self.threshold
+        out = np.empty(len(x))
+        assert self.left is not None and self.right is not None
+        out[go_left] = self.left.predict(x[go_left])
+        out[~go_left] = self.right.predict(x[~go_left])
+        return out
+
+    def predict_one(self, row: np.ndarray) -> float:
+        """Root-to-leaf walk for a single row (no array overhead).
+
+        Per-estimate inference is the hot path of the benchmark (one
+        call per sub-plan query), where the masked-array recursion of
+        :meth:`predict` pays ~100x numpy overhead per tree.
+        """
+        node = self
+        while node.feature is not None:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node.value
+
+    def count_nodes(self) -> int:
+        if self.feature is None:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + self.left.count_nodes() + self.right.count_nodes()
+
+
+class _RegressionTree:
+    """Depth-limited tree fit to residuals via histogram split search."""
+
+    def __init__(
+        self,
+        max_depth: int = 5,
+        min_samples_leaf: int = 8,
+        num_bins: int = 32,
+        l2: float = 1.0,
+    ):
+        self._max_depth = max_depth
+        self._min_leaf = min_samples_leaf
+        self._num_bins = num_bins
+        self._l2 = l2
+        self.root: _TreeNode | None = None
+
+    def fit(self, x: np.ndarray, residuals: np.ndarray) -> "_RegressionTree":
+        self.root = self._build(x, residuals, depth=0)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        assert self.root is not None, "predict() before fit()"
+        return self.root.predict(x)
+
+    def _build(self, x: np.ndarray, residuals: np.ndarray, depth: int) -> _TreeNode:
+        value = float(residuals.sum() / (len(residuals) + self._l2))
+        if depth >= self._max_depth or len(residuals) < 2 * self._min_leaf:
+            return _TreeNode(value=value)
+        split = self._best_split(x, residuals)
+        if split is None:
+            return _TreeNode(value=value)
+        feature, threshold = split
+        go_left = x[:, feature] <= threshold
+        return _TreeNode(
+            value=value,
+            feature=feature,
+            threshold=threshold,
+            left=self._build(x[go_left], residuals[go_left], depth + 1),
+            right=self._build(x[~go_left], residuals[~go_left], depth + 1),
+        )
+
+    def _best_split(self, x: np.ndarray, residuals: np.ndarray) -> tuple[int, float] | None:
+        """Variance-gain-maximizing (feature, threshold) over histogram bins."""
+        n, num_features = x.shape
+        total_sum = residuals.sum()
+        best_gain = 1e-9
+        best: tuple[int, float] | None = None
+        base_score = total_sum**2 / (n + self._l2)
+        for feature in range(num_features):
+            column = x[:, feature]
+            low, high = column.min(), column.max()
+            if high <= low:
+                continue
+            edges = np.linspace(low, high, self._num_bins + 1)[1:-1]
+            bins = np.searchsorted(edges, column, side="right")
+            bin_counts = np.bincount(bins, minlength=self._num_bins)
+            bin_sums = np.bincount(bins, weights=residuals, minlength=self._num_bins)
+            left_counts = np.cumsum(bin_counts)[:-1]
+            left_sums = np.cumsum(bin_sums)[:-1]
+            right_counts = n - left_counts
+            right_sums = total_sum - left_sums
+            valid = (left_counts >= self._min_leaf) & (right_counts >= self._min_leaf)
+            if not valid.any():
+                continue
+            gains = (
+                left_sums**2 / (left_counts + self._l2)
+                + right_sums**2 / (right_counts + self._l2)
+                - base_score
+            )
+            gains[~valid] = -np.inf
+            candidate = int(np.argmax(gains))
+            if gains[candidate] > best_gain:
+                best_gain = float(gains[candidate])
+                best = (feature, float(edges[candidate]))
+        return best
+
+
+class GradientBoostedTrees:
+    """Squared-loss gradient boosting over histogram regression trees."""
+
+    def __init__(
+        self,
+        num_trees: int = 120,
+        learning_rate: float = 0.15,
+        max_depth: int = 5,
+        min_samples_leaf: int = 8,
+        num_bins: int = 32,
+    ):
+        self._num_trees = num_trees
+        self._learning_rate = learning_rate
+        self._max_depth = max_depth
+        self._min_leaf = min_samples_leaf
+        self._num_bins = num_bins
+        self._base: float = 0.0
+        self._trees: list[_RegressionTree] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self._base = float(y.mean()) if len(y) else 0.0
+        prediction = np.full(len(y), self._base)
+        self._trees = []
+        for _ in range(self._num_trees):
+            residuals = y - prediction
+            tree = _RegressionTree(
+                max_depth=self._max_depth,
+                min_samples_leaf=self._min_leaf,
+                num_bins=self._num_bins,
+            ).fit(x, residuals)
+            prediction += self._learning_rate * tree.predict(x)
+            self._trees.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if len(x) == 1:
+            return np.array([self.predict_one(x[0])])
+        prediction = np.full(len(x), self._base)
+        for tree in self._trees:
+            prediction += self._learning_rate * tree.predict(x)
+        return prediction
+
+    def predict_one(self, row: np.ndarray) -> float:
+        """Fast scalar prediction (per-sub-plan inference hot path)."""
+        row = np.asarray(row, dtype=np.float64)
+        prediction = self._base
+        for tree in self._trees:
+            assert tree.root is not None
+            prediction += self._learning_rate * tree.root.predict_one(row)
+        return prediction
+
+    def nbytes(self) -> int:
+        nodes = sum(tree.root.count_nodes() for tree in self._trees if tree.root)
+        return nodes * 40  # value + feature + threshold + two pointers

@@ -1,0 +1,247 @@
+"""MADE: masked autoencoder for distribution estimation (numpy).
+
+The deep auto-regressive model behind NeuroCard/Naru/UAE: the joint
+distribution over discretized columns factorizes by the chain rule,
+``P(x) = prod_d P(x_d | x_<d>)``, with masked dense layers enforcing
+the autoregressive property in a single network.
+
+Two inference features mirror the original systems:
+
+- **progressive sampling** (Naru): query probabilities are estimated
+  by sampling each constrained column from its region-restricted
+  conditional and accumulating the restricted mass;
+- **wildcard skipping** (variable skipping, Liang et al.): during
+  training, columns are randomly replaced by a "marginalized" uniform
+  input so that unconstrained columns can be skipped at inference
+  instead of sampled, which is what keeps estimation latency bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MadeModel:
+    """Masked autoregressive density model over discrete columns."""
+
+    def __init__(
+        self,
+        bin_counts: list[int],
+        hidden_sizes: tuple[int, ...] = (48, 48),
+        seed: int = 0,
+        wildcard_probability: float = 0.3,
+    ):
+        self.bin_counts = list(bin_counts)
+        self._num_columns = len(bin_counts)
+        self._wildcard_probability = wildcard_probability
+        self._rng = np.random.default_rng(seed)
+
+        self._offsets = np.concatenate([[0], np.cumsum(self.bin_counts)]).astype(int)
+        total_bins = int(self._offsets[-1])
+
+        # Degrees: inputs/outputs carry their column index; hidden units
+        # carry degrees in [0, D-2] so connectivity is autoregressive.
+        input_degrees = np.repeat(np.arange(self._num_columns), self.bin_counts)
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._masks: list[np.ndarray] = []
+
+        previous_degrees = input_degrees
+        previous_size = total_bins
+        max_degree = max(self._num_columns - 1, 1)
+        for size in hidden_sizes:
+            degrees = self._rng.integers(0, max_degree, size=size)
+            mask = (previous_degrees[:, None] <= degrees[None, :]).astype(np.float32)
+            self._append_layer(previous_size, size, mask)
+            previous_degrees = degrees
+            previous_size = size
+        output_degrees = np.repeat(np.arange(self._num_columns), self.bin_counts)
+        output_mask = (previous_degrees[:, None] < output_degrees[None, :]).astype(np.float32)
+        self._append_layer(previous_size, total_bins, output_mask)
+
+    def _append_layer(self, in_size: int, out_size: int, mask: np.ndarray) -> None:
+        scale = np.sqrt(2.0 / max(in_size, 1))
+        weight = self._rng.normal(0.0, scale, size=(in_size, out_size)).astype(np.float32)
+        self._weights.append(weight * mask)
+        self._biases.append(np.zeros(out_size, dtype=np.float32))
+        self._masks.append(mask)
+
+    # -- encoding ---------------------------------------------------------------
+
+    def _encode(self, data: np.ndarray) -> np.ndarray:
+        """One-hot encode a matrix of bin ids."""
+        n = len(data)
+        encoded = np.zeros((n, int(self._offsets[-1])), dtype=np.float32)
+        rows = np.arange(n)
+        for d in range(self._num_columns):
+            encoded[rows, self._offsets[d] + data[:, d]] = 1.0
+        return encoded
+
+    def _apply_wildcards(self, encoded: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Randomly marginalize columns (training-time variable skipping)."""
+        n = len(encoded)
+        out = encoded.copy()
+        for d in range(self._num_columns):
+            mask = rng.random(n) < self._wildcard_probability
+            if not mask.any():
+                continue
+            lo, hi = self._offsets[d], self._offsets[d + 1]
+            out[mask, lo:hi] = 1.0 / self.bin_counts[d]
+        return out
+
+    # -- forward / training -------------------------------------------------------
+
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        activations = [x]
+        h = x
+        for i, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            h = h @ weight + bias
+            if i < len(self._weights) - 1:
+                h = np.maximum(h, 0.0)
+            activations.append(h)
+        return h, activations
+
+    def _column_softmax(self, logits: np.ndarray, d: int) -> np.ndarray:
+        lo, hi = self._offsets[d], self._offsets[d + 1]
+        block = logits[:, lo:hi]
+        block = block - block.max(axis=1, keepdims=True)
+        exp = np.exp(block)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def fit(
+        self,
+        data: np.ndarray,
+        epochs: int = 8,
+        batch_size: int = 512,
+        lr: float = 2e-3,
+    ) -> float:
+        """Train by maximum likelihood; returns final mean NLL."""
+        data = np.asarray(data, dtype=np.int64)
+        n = len(data)
+        adam_m = [np.zeros_like(w) for w in self._weights] + [
+            np.zeros_like(b) for b in self._biases
+        ]
+        adam_v = [np.zeros_like(m) for m in adam_m]
+        step = 0
+        final_nll = float("inf")
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            nlls = []
+            for start in range(0, n, batch_size):
+                batch = data[order[start : start + batch_size]]
+                encoded = self._encode(batch)
+                inputs = self._apply_wildcards(encoded, self._rng)
+                logits, activations = self._forward(inputs)
+
+                grad_logits = np.zeros_like(logits)
+                nll = 0.0
+                rows = np.arange(len(batch))
+                for d in range(self._num_columns):
+                    probs = self._column_softmax(logits, d)
+                    lo = self._offsets[d]
+                    picked = probs[rows, batch[:, d]]
+                    nll -= float(np.log(np.maximum(picked, 1e-12)).mean())
+                    grad = probs
+                    grad[rows, batch[:, d]] -= 1.0
+                    grad_logits[:, lo : self._offsets[d + 1]] = grad / len(batch)
+                nlls.append(nll)
+
+                gradients = self._backward(grad_logits, activations)
+                step += 1
+                self._adam_step(gradients, adam_m, adam_v, step, lr)
+            final_nll = float(np.mean(nlls))
+        return final_nll
+
+    def _backward(self, grad_output: np.ndarray, activations: list[np.ndarray]):
+        weight_grads: list[np.ndarray] = [None] * len(self._weights)  # type: ignore[list-item]
+        bias_grads: list[np.ndarray] = [None] * len(self._biases)  # type: ignore[list-item]
+        grad = grad_output
+        for i in reversed(range(len(self._weights))):
+            inputs = activations[i]
+            if i < len(self._weights) - 1:
+                grad = grad * (activations[i + 1] > 0)
+            weight_grads[i] = (inputs.T @ grad) * self._masks[i]
+            bias_grads[i] = grad.sum(axis=0)
+            grad = grad @ self._weights[i].T
+        return weight_grads + bias_grads
+
+    def _adam_step(self, gradients, m, v, t, lr, beta1=0.9, beta2=0.999, eps=1e-8):
+        parameters = self._weights + self._biases
+        for i, (param, grad) in enumerate(zip(parameters, gradients)):
+            m[i] = beta1 * m[i] + (1 - beta1) * grad
+            v[i] = beta2 * v[i] + (1 - beta2) * grad**2
+            m_hat = m[i] / (1 - beta1**t)
+            v_hat = v[i] / (1 - beta2**t)
+            param -= (lr * m_hat / (np.sqrt(v_hat) + eps)).astype(np.float32)
+
+    # -- inference -------------------------------------------------------------------
+
+    def prob(
+        self,
+        coverages: list[np.ndarray | None],
+        num_samples: int = 128,
+        rng: np.random.Generator | None = None,
+        weight_columns: list[tuple[int, np.ndarray]] | None = None,
+    ) -> float:
+        """Probability of the region given by per-column ``coverages``.
+
+        ``coverages[d]`` is a vector over column ``d``'s bins with the
+        covered fraction of each bin, or None for an unconstrained
+        (wildcarded, skipped) column.  ``weight_columns`` optionally
+        lists ``(column, per_bin_factor)`` pairs whose sampled bins
+        multiply the estimate — NeuroCard uses this for fan-out
+        down-scaling.
+
+        Returns the progressive-sampling estimate of
+        ``E[ prod_d coverage_d(x_d) * prod_w factor_w(x_w) ]``.
+        """
+        rng = rng or self._rng
+        weight_map = dict(weight_columns or [])
+        constrained = [
+            d
+            for d in range(self._num_columns)
+            if coverages[d] is not None or d in weight_map
+        ]
+        if not constrained:
+            return 1.0
+
+        total_bins = int(self._offsets[-1])
+        inputs = np.empty((num_samples, total_bins), dtype=np.float32)
+        for d in range(self._num_columns):
+            lo, hi = self._offsets[d], self._offsets[d + 1]
+            inputs[:, lo:hi] = 1.0 / self.bin_counts[d]
+        weights = np.ones(num_samples, dtype=np.float64)
+
+        for d in constrained:
+            logits, _ = self._forward(inputs)
+            probs = self._column_softmax(logits, d).astype(np.float64)
+            coverage = coverages[d]
+            masked = probs * coverage[None, :] if coverage is not None else probs
+            mass = masked.sum(axis=1)
+            weights *= mass
+            alive = mass > 0
+            if not alive.any():
+                return 0.0
+            conditional = np.where(
+                alive[:, None], masked / np.maximum(mass[:, None], 1e-30), 0.0
+            )
+            sampled = _sample_rows(conditional, rng)
+            if d in weight_map:
+                weights *= weight_map[d][sampled]
+            lo, hi = self._offsets[d], self._offsets[d + 1]
+            inputs[:, lo:hi] = 0.0
+            inputs[np.arange(num_samples), lo + sampled] = 1.0
+
+        return float(weights.mean())
+
+    def nbytes(self) -> int:
+        return sum(w.nbytes for w in self._weights) + sum(b.nbytes for b in self._biases)
+
+
+def _sample_rows(probabilities: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Sample one index per row from row-normalized probabilities."""
+    cumulative = probabilities.cumsum(axis=1)
+    draws = rng.random(len(probabilities))[:, None]
+    return np.minimum(
+        (cumulative < draws).sum(axis=1), probabilities.shape[1] - 1
+    ).astype(np.int64)

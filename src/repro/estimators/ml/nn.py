@@ -1,0 +1,147 @@
+"""Dense neural networks in numpy: layers, backprop, Adam.
+
+Deliberately small and explicit — enough to train the miniature MSCN,
+LW-NN and MADE models the benchmark needs, with deterministic
+initialization from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DenseLayer:
+    """Fully connected layer ``y = x @ W + b`` with optional ReLU."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        in_features: int,
+        out_features: int,
+        relu: bool = True,
+    ):
+        scale = np.sqrt(2.0 / max(in_features, 1))
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.relu = relu
+        self._input: np.ndarray | None = None
+        self._pre_activation: np.ndarray | None = None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        z = x @ self.weight + self.bias
+        self._pre_activation = z
+        return np.maximum(z, 0.0) if self.relu else z
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._input is not None and self._pre_activation is not None
+        if self.relu:
+            grad_output = grad_output * (self._pre_activation > 0)
+        self.grad_weight = self._input.T @ grad_output
+        self.grad_bias = grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+    def nbytes(self) -> int:
+        return self.weight.nbytes + self.bias.nbytes
+
+
+class MLP:
+    """A stack of dense layers; the last layer is linear."""
+
+    def __init__(self, rng: np.random.Generator, sizes: list[int]):
+        if len(sizes) < 2:
+            raise ValueError("an MLP needs at least input and output sizes")
+        self.layers = []
+        for i in range(len(sizes) - 1):
+            last = i == len(sizes) - 2
+            self.layers.append(DenseLayer(rng, sizes[i], sizes[i + 1], relu=not last))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters]
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients]
+
+    def nbytes(self) -> int:
+        return sum(layer.nbytes() for layer in self.layers)
+
+
+class AdamOptimizer:
+    """Adam over a fixed list of parameter arrays (updated in place)."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        self._parameters = parameters
+        self._lr = lr
+        self._beta1 = beta1
+        self._beta2 = beta2
+        self._epsilon = epsilon
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        self._t += 1
+        for i, (param, grad) in enumerate(zip(self._parameters, gradients)):
+            self._m[i] = self._beta1 * self._m[i] + (1 - self._beta1) * grad
+            self._v[i] = self._beta2 * self._v[i] + (1 - self._beta2) * grad**2
+            m_hat = self._m[i] / (1 - self._beta1**self._t)
+            v_hat = self._v[i] / (1 - self._beta2**self._t)
+            param -= self._lr * m_hat / (np.sqrt(v_hat) + self._epsilon)
+
+
+def train_regressor(
+    model: MLP,
+    features: np.ndarray,
+    targets: np.ndarray,
+    rng: np.random.Generator,
+    epochs: int = 60,
+    batch_size: int = 128,
+    lr: float = 1e-3,
+) -> float:
+    """Train ``model`` on MSE; returns the final epoch's mean loss."""
+    optimizer = AdamOptimizer(model.parameters, lr=lr)
+    n = len(features)
+    targets = targets.reshape(n, -1)
+    last_loss = float("inf")
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        losses = []
+        for start in range(0, n, batch_size):
+            batch = order[start : start + batch_size]
+            x, y = features[batch], targets[batch]
+            prediction = model.forward(x)
+            error = prediction - y
+            losses.append(float((error**2).mean()))
+            model.backward(2.0 * error / len(batch))
+            optimizer.step(model.gradients)
+        last_loss = float(np.mean(losses))
+    return last_loss

@@ -1,0 +1,14 @@
+"""ML-based query-driven estimators (paper Section 4.1, items 6-9).
+
+All of them regress featurized queries to log-cardinalities and are
+trained from a generated workload of executed queries; none of them
+reads the data itself — the root of the workload-shift and update
+problems the paper analyses (observations O1, O9).
+"""
+
+from repro.estimators.queryd.lw_nn import LWNNEstimator
+from repro.estimators.queryd.lw_xgb import LWXGBEstimator
+from repro.estimators.queryd.mscn import MSCNEstimator
+from repro.estimators.queryd.uae_q import UAEQEstimator
+
+__all__ = ["LWNNEstimator", "LWXGBEstimator", "MSCNEstimator", "UAEQEstimator"]

@@ -1,0 +1,17 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(context) -> str`` returning the rendered
+table, and can be executed standalone through
+``python -m repro.experiments.runner --experiment table3``.
+
+The shared :class:`repro.experiments.context.ExperimentContext` builds
+the datasets, workloads and estimators once and caches estimator
+evaluation passes on disk, so all downstream tables reuse the same
+measured runs (exactly like the paper derives Tables 3-7 from one
+evaluation campaign).
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["ExperimentConfig", "ExperimentContext"]

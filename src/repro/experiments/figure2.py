@@ -1,0 +1,79 @@
+"""Figure 2: case study of a heavy STATS-CEB query (the paper's Q57).
+
+Selects the query whose execution time differs most across the
+data-driven methods, then prints — per method — the chosen join
+order, the physical operators, the root-node cardinality estimate
+against the truth, and the resulting execution time.  This is the
+experiment behind observations O5 (large-cardinality sub-plans
+dominate) and O6 (physical-operator choice can matter more than join
+order).
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_count, format_seconds
+from repro.experiments.context import ExperimentContext
+
+METHODS = ("TrueCard", "BayesCard", "DeepDB", "FLAT")
+
+
+def pick_case_study(records) -> str:
+    """Query name with the widest execution-time spread across methods."""
+    spans: dict[str, list[float]] = {}
+    for record in records.values():
+        for query_run in record.run.query_runs:
+            spans.setdefault(query_run.query_name, []).append(
+                query_run.execution_seconds
+            )
+    def spread(name: str) -> float:
+        times = spans[name]
+        return max(times) / max(min(times), 1e-9) * max(times)
+
+    return max(spans, key=spread)
+
+
+def run(context: ExperimentContext, methods=METHODS) -> str:
+    records = context.evaluate_all("stats-ceb", methods)
+    query_name = pick_case_study(records)
+    workload = context.workload("stats-ceb")
+    labeled = next(q for q in workload.queries if q.query.name == query_name)
+    true_root = labeled.true_cardinality
+
+    lines = [
+        f"Figure 2: case study of {query_name} "
+        f"({labeled.query.num_tables} tables, true cardinality {format_count(true_root)})",
+        f"  SQL: {labeled.query.to_sql()}",
+        "",
+    ]
+    truecard_order = None
+    for method in methods:
+        query_run = next(
+            r for r in records[method].run.query_runs if r.query_name == query_name
+        )
+        if method == "TrueCard":
+            truecard_order = query_run.join_order
+        same_order = (
+            "optimal"
+            if query_run.join_order == truecard_order
+            else "different from optimal"
+        )
+        lines.append(
+            f"{method}:"
+            f" exec {format_seconds(query_run.execution_seconds, query_run.aborted)},"
+            f" P-Error {query_run.p_error:.2f},"
+            f" join order {same_order},"
+            f" operators: {' / '.join(sorted(set(query_run.methods)))}"
+        )
+        lines.append(f"  join order: {_render_order(query_run.join_order)}")
+    return "\n".join(lines)
+
+
+def _render_order(signature) -> str:
+    if isinstance(signature, tuple) and len(signature) == 1:
+        return str(signature[0])
+    left, right = signature
+    return f"({_render_order(left)} ⋈ {_render_order(right)})"
+
+
+if __name__ == "__main__":
+    print(run(ExperimentContext()))

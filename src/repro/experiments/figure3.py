@@ -1,0 +1,61 @@
+"""Figure 3: practicality aspects of the CardEst methods.
+
+Per method and workload: average inference latency per sub-plan
+query, model size, and training time — the three panels of the
+paper's Figure 3.  PessEst/WJSample are model-free (no training, no
+stored model); their rows show the online-sketch behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_bytes, format_seconds, render_bars, render_table
+from repro.experiments.context import ExperimentContext
+
+METHODS = (
+    "PessEst",
+    "MSCN",
+    "NeuroCard",
+    "BayesCard",
+    "DeepDB",
+    "FLAT",
+)
+
+
+def run(context: ExperimentContext, methods=METHODS) -> str:
+    sections = []
+    for workload_name in ("job-light", "stats-ceb"):
+        records = context.evaluate_all(workload_name, methods)
+        rows = []
+        for method in methods:
+            record = records[method]
+            run_ = record.run
+            num_subplans = sum(len(r.q_errors) for r in run_.query_runs)
+            total_inference = sum(r.inference_seconds for r in run_.query_runs)
+            latency = total_inference / max(num_subplans, 1)
+            rows.append(
+                [
+                    method,
+                    f"{latency * 1000:.2f}ms",
+                    format_bytes(record.model_size_bytes),
+                    format_seconds(record.training_seconds),
+                ]
+            )
+        sections.append(
+            render_table(
+                ["Method", "Inference / sub-plan", "Model size", "Training time"],
+                rows,
+                title=f"Figure 3 ({workload_name}): practicality aspects",
+            )
+        )
+        sections.append(
+            render_bars(
+                list(methods),
+                [records[m].training_seconds for m in methods],
+                title=f"Training time ({workload_name})",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":
+    print(run(ExperimentContext()))

@@ -1,0 +1,87 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner --experiment table3 --mode quick
+    python -m repro.experiments.runner --experiment all --mode full
+
+``quick`` runs at reduced scale (CI-friendly); ``full`` reproduces
+the repository's headline numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    observations,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "observations": observations.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        choices=["all", *EXPERIMENTS],
+        help="which table/figure to reproduce",
+    )
+    parser.add_argument(
+        "--mode",
+        default="quick",
+        choices=["quick", "full"],
+        help="reduced-scale quick pass or the full reproduction",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="additionally write each report to DIR/<experiment>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    context = ExperimentContext(ExperimentConfig.named(args.mode))
+    selected = EXPERIMENTS if args.experiment == "all" else {
+        args.experiment: EXPERIMENTS[args.experiment]
+    }
+    save_dir = Path(args.save) if args.save else None
+    if save_dir is not None:
+        save_dir.mkdir(parents=True, exist_ok=True)
+    for name, experiment in selected.items():
+        started = time.perf_counter()
+        output = experiment(context)
+        print(output)
+        print(f"\n[{name} finished in {time.perf_counter() - started:.1f}s]\n")
+        if save_dir is not None:
+            (save_dir / f"{name}.txt").write_text(output + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

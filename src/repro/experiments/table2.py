@@ -1,0 +1,47 @@
+"""Table 2: comparison of the JOB-LIGHT and STATS-CEB workloads."""
+
+from __future__ import annotations
+
+from repro.core.report import format_count, render_table
+from repro.experiments.context import ExperimentContext
+from repro.workloads.describe import describe
+
+
+def run(context: ExperimentContext) -> str:
+    job = describe(context.workload("job-light"), context.database("imdb").join_graph)
+    stats = describe(
+        context.workload("stats-ceb"), context.database("stats").join_graph
+    )
+
+    rows = [
+        ["# of queries", str(job.num_queries), str(stats.num_queries)],
+        [
+            "# of joined tables",
+            f"{job.joined_tables[0]}-{job.joined_tables[1]}",
+            f"{stats.joined_tables[0]}-{stats.joined_tables[1]}",
+        ],
+        ["# of join templates", str(job.num_templates), str(stats.num_templates)],
+        [
+            "# of filtering n./c. predicates",
+            f"{job.predicates[0]}-{job.predicates[1]}",
+            f"{stats.predicates[0]}-{stats.predicates[1]}",
+        ],
+        ["join type", job.join_types, stats.join_types],
+        [
+            "true cardinality range",
+            f"{format_count(job.cardinality_range[0])} - "
+            f"{format_count(job.cardinality_range[1])}",
+            f"{format_count(stats.cardinality_range[0])} - "
+            f"{format_count(stats.cardinality_range[1])}",
+        ],
+        ["join forms", "/".join(job.join_forms), "/".join(stats.join_forms)],
+    ]
+    return render_table(
+        ["Item", "JOB-LIGHT", "STATS-CEB"],
+        rows,
+        title="Table 2: JOB-LIGHT vs STATS-CEB workload",
+    )
+
+
+if __name__ == "__main__":
+    print(run(ExperimentContext()))

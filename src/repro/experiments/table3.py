@@ -1,0 +1,53 @@
+"""Table 3: overall end-to-end performance of all CardEst methods.
+
+For each method and both workloads: total end-to-end time (execution
+plus planning, where planning includes estimator inference), and the
+relative improvement over the PostgreSQL baseline.  Aborted
+executions (the paper's "> 25h" entries) take a 10x-TrueCard penalty
+and flag the aggregate as a lower bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.benchmark import abort_penalties
+from repro.core.report import format_improvement, format_seconds, render_table
+from repro.experiments.context import CATEGORY_OF, ESTIMATOR_ORDER, ExperimentContext
+
+
+def run(context: ExperimentContext, names=ESTIMATOR_ORDER) -> str:
+    sections = []
+    for workload_name in ("job-light", "stats-ceb"):
+        records = context.evaluate_all(workload_name, names)
+        baseline = records["TrueCard"].run
+        penalties = abort_penalties(baseline)
+        postgres_total = records["PostgreSQL"].run.total_end_to_end_seconds(penalties)
+
+        rows = []
+        for name in names:
+            record = records[name]
+            run_ = record.run
+            total = run_.total_end_to_end_seconds(penalties)
+            aborted = run_.aborted_count > 0
+            rows.append(
+                [
+                    CATEGORY_OF[name],
+                    name,
+                    format_seconds(total, aborted),
+                    f"{format_seconds(run_.total_execution_seconds(penalties), aborted)}"
+                    f" + {format_seconds(run_.total_planning_seconds())}",
+                    format_improvement(postgres_total, total),
+                    str(run_.aborted_count),
+                ]
+            )
+        sections.append(
+            render_table(
+                ["Category", "Method", "End-to-End", "Exec + Plan", "Improvement", "Aborts"],
+                rows,
+                title=f"Table 3 ({workload_name}): overall performance",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":
+    print(run(ExperimentContext()))

@@ -1,0 +1,74 @@
+"""Table 4: improvement ratio by number of joined tables (STATS-CEB).
+
+Groups the STATS-CEB queries into the paper's buckets (2-3 / 4 / 5 /
+6-8 joined tables) and reports each method's end-to-end improvement
+over PostgreSQL within the bucket — exposing observation O4: the gap
+to TrueCard widens as more tables join.
+"""
+
+from __future__ import annotations
+
+from repro.core.benchmark import EstimatorRun, abort_penalties
+from repro.core.report import render_table
+from repro.experiments.context import ExperimentContext
+
+BUCKETS = ((2, 3), (4, 4), (5, 5), (6, 8))
+
+#: methods shown in the paper's Table 4.
+METHODS = ("PessEst", "MSCN", "BayesCard", "DeepDB", "FLAT", "TrueCard")
+
+
+def bucket_of(num_tables: int) -> tuple[int, int] | None:
+    for low, high in BUCKETS:
+        if low <= num_tables <= high:
+            return (low, high)
+    return None
+
+
+def bucket_times(run: EstimatorRun, penalties: dict[str, float]) -> dict[tuple[int, int], float]:
+    times: dict[tuple[int, int], float] = {bucket: 0.0 for bucket in BUCKETS}
+    for query_run in run.query_runs:
+        bucket = bucket_of(query_run.num_tables)
+        if bucket is None:
+            continue
+        execution = query_run.execution_seconds
+        if query_run.aborted:
+            execution = penalties.get(query_run.query_name, execution)
+        times[bucket] += (
+            execution + query_run.inference_seconds + query_run.planning_seconds
+        )
+    return times
+
+
+def run(context: ExperimentContext, methods=METHODS) -> str:
+    records = context.evaluate_all("stats-ceb", methods + ("PostgreSQL",))
+    penalties = abort_penalties(records["TrueCard"].run) if "TrueCard" in records else {}
+    postgres_times = bucket_times(records["PostgreSQL"].run, penalties)
+    counts: dict[tuple[int, int], int] = {bucket: 0 for bucket in BUCKETS}
+    for query_run in records["PostgreSQL"].run.query_runs:
+        bucket = bucket_of(query_run.num_tables)
+        if bucket is not None:
+            counts[bucket] += 1
+
+    rows = []
+    for bucket in BUCKETS:
+        label = f"{bucket[0]}-{bucket[1]}" if bucket[0] != bucket[1] else str(bucket[0])
+        row = [label, str(counts[bucket])]
+        for method in methods:
+            times = bucket_times(records[method].run, penalties)
+            baseline = postgres_times[bucket]
+            if baseline <= 0:
+                row.append("n/a")
+            else:
+                row.append(f"{100.0 * (1.0 - times[bucket] / baseline):+.1f}%")
+        rows.append(row)
+
+    return render_table(
+        ["# tables", "# queries", *methods],
+        rows,
+        title="Table 4: end-to-end improvement over PostgreSQL by join count (STATS-CEB)",
+    )
+
+
+if __name__ == "__main__":
+    print(run(ExperimentContext()))

@@ -1,0 +1,56 @@
+"""Table 5: OLTP vs OLAP performance on STATS-CEB.
+
+Splits the workload by the TrueCard execution time of each query and
+reports per-method execution and planning time on both halves —
+reproducing observation O7: inference latency dominates short (TP)
+queries and is negligible on long (AP) queries.
+"""
+
+from __future__ import annotations
+
+from repro.core.benchmark import abort_penalties
+from repro.core.report import format_seconds, render_table
+from repro.core.workload_split import split_query_names, split_times
+from repro.experiments.context import ExperimentContext
+
+METHODS = (
+    "PostgreSQL",
+    "TrueCard",
+    "PessEst",
+    "MSCN",
+    "NeuroCard",
+    "BayesCard",
+    "DeepDB",
+    "FLAT",
+)
+
+
+def run(context: ExperimentContext, methods=METHODS, quantile: float = 0.75) -> str:
+    records = context.evaluate_all("stats-ceb", methods)
+    baseline = records["TrueCard"].run
+    penalties = abort_penalties(baseline)
+    tp_names, _ = split_query_names(baseline, quantile=quantile)
+
+    rows = []
+    for method in methods:
+        aggregate = split_times(records[method].run, tp_names, penalties)
+        rows.append(
+            [
+                method,
+                format_seconds(aggregate.tp_execution_seconds, aggregate.tp_aborted > 0),
+                f"{format_seconds(aggregate.tp_planning_seconds)}"
+                f" ({100 * aggregate.tp_planning_share:.1f}%)",
+                format_seconds(aggregate.ap_execution_seconds, aggregate.ap_aborted > 0),
+                f"{format_seconds(aggregate.ap_planning_seconds)}"
+                f" ({100 * aggregate.ap_planning_share:.1f}%)",
+            ]
+        )
+    return render_table(
+        ["Method", "TP Exec", "TP Plan (share)", "AP Exec", "AP Plan (share)"],
+        rows,
+        title=f"Table 5: OLTP/OLAP split of STATS-CEB (TP = fastest {quantile:.0%})",
+    )
+
+
+if __name__ == "__main__":
+    print(run(ExperimentContext()))

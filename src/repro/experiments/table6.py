@@ -1,0 +1,55 @@
+"""Table 6: update performance of the data-driven CardEst methods.
+
+Runs the paper's dynamic-data experiment: split STATS at the 2014
+boundary, train stale models, insert the newer half, measure each
+method's incremental update time, and compare end-to-end time after
+the update against the statically trained model (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.benchmark import abort_penalties
+from repro.core.report import format_seconds, render_table
+from repro.core.update_bench import run_update_experiment
+from repro.datasets.stats_db import StatsConfig, build_stats
+from repro.experiments.context import ExperimentContext
+
+METHODS = ("NeuroCard", "BayesCard", "DeepDB", "FLAT")
+
+
+def run(context: ExperimentContext, methods=METHODS) -> str:
+    workload = context.workload("stats-ceb")
+    static_records = context.evaluate_all("stats-ceb", methods + ("TrueCard",))
+    penalties = abort_penalties(static_records["TrueCard"].run)
+
+    rows = []
+    for method in methods:
+        # The update experiment mutates the database; build a fresh one.
+        database = build_stats(StatsConfig().scaled(context.config.scale))
+        estimator = context.make_estimator(method)
+        result = run_update_experiment(database, workload, estimator)
+        static_run = static_records[method].run
+        updated_run = result.run_after_update
+        rows.append(
+            [
+                method,
+                format_seconds(result.update_seconds),
+                format_seconds(
+                    static_run.total_end_to_end_seconds(penalties),
+                    static_run.aborted_count > 0,
+                ),
+                format_seconds(
+                    updated_run.total_end_to_end_seconds(penalties),
+                    updated_run.aborted_count > 0,
+                ),
+            ]
+        )
+    return render_table(
+        ["Method", "Update time", "Original E2E (Table 3)", "E2E after update"],
+        rows,
+        title="Table 6: update performance on STATS-CEB",
+    )
+
+
+if __name__ == "__main__":
+    print(run(ExperimentContext()))

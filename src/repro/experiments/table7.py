@@ -1,0 +1,75 @@
+"""Table 7: Q-Error vs P-Error as quality metrics.
+
+For every method and both workloads: execution time (descending, like
+the paper sorts its rows), Q-Error percentiles over all sub-plan
+queries, and P-Error percentiles over all plans — followed by the
+rank correlations of each metric's percentiles against execution
+time, reproducing observation O14 (P-Error correlates far better).
+"""
+
+from __future__ import annotations
+
+from repro.core.benchmark import abort_penalties
+from repro.core.metrics import percentiles, rank_correlation
+from repro.core.report import format_seconds, render_table
+from repro.experiments.context import ESTIMATOR_ORDER, ExperimentContext
+
+
+def run(context: ExperimentContext, names=ESTIMATOR_ORDER) -> str:
+    sections = []
+    for workload_name in ("job-light", "stats-ceb"):
+        records = context.evaluate_all(workload_name, names)
+        penalties = abort_penalties(records["TrueCard"].run)
+
+        entries = []
+        for name in names:
+            if name == "TrueCard":
+                continue  # the oracle has no estimation error by definition
+            run_ = records[name].run
+            q = percentiles(run_.all_q_errors())
+            p = percentiles(run_.all_p_errors())
+            entries.append(
+                {
+                    "name": name,
+                    "time": run_.total_execution_seconds(penalties),
+                    "aborted": run_.aborted_count > 0,
+                    "q": q,
+                    "p": p,
+                }
+            )
+        entries.sort(key=lambda e: -e["time"])
+
+        rows = [
+            [
+                entry["name"],
+                format_seconds(entry["time"], entry["aborted"]),
+                f"{entry['q'][50]:.2f}",
+                f"{entry['q'][90]:.1f}",
+                f"{entry['q'][99]:.1f}",
+                f"{entry['p'][50]:.2f}",
+                f"{entry['p'][90]:.2f}",
+                f"{entry['p'][99]:.2f}",
+            ]
+            for entry in entries
+        ]
+        table = render_table(
+            ["Method (slowest first)", "Exec Time", "Q-50%", "Q-90%", "Q-99%", "P-50%", "P-90%", "P-99%"],
+            rows,
+            title=f"Table 7 ({workload_name}): Q-Error vs P-Error",
+        )
+
+        times = [entry["time"] for entry in entries]
+        correlations = []
+        for pct in (50, 90):
+            q_corr = rank_correlation([e["q"][pct] for e in entries], times)
+            p_corr = rank_correlation([e["p"][pct] for e in entries], times)
+            correlations.append(
+                f"  {pct}% percentile vs exec time: "
+                f"Q-Error corr = {q_corr:+.3f}, P-Error corr = {p_corr:+.3f}"
+            )
+        sections.append(table + "\n" + "\n".join(correlations))
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":
+    print(run(ExperimentContext()))

@@ -1,0 +1,132 @@
+"""Disk cache for labelled workloads.
+
+Labelling a workload executes every sub-plan query exactly, which is
+the most expensive step of benchmark preparation.  Since datasets and
+workloads are fully deterministic in their configs, the result is
+cached as JSON keyed by a config fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.engine.catalog import JoinEdge
+from repro.engine.predicates import Predicate
+from repro.engine.query import LabeledQuery, Query
+from repro.workloads.generator import Workload
+
+DEFAULT_CACHE_DIR = Path(".cache") / "workloads"
+
+
+def fingerprint(parts: dict) -> str:
+    """Stable short hash of a config dictionary."""
+    payload = json.dumps(parts, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def database_checksum(database) -> int:
+    """Cheap content checksum so cached workloads invalidate when the
+    data generator changes, not only when table sizes do."""
+    total = 0
+    for name in sorted(database.tables):
+        table = database.tables[name]
+        for column_name in table.schema.column_names:
+            column = table.column(column_name)
+            total ^= int(column.values.sum()) & 0xFFFFFFFFFFFF
+            total ^= int(column.null_mask.sum()) << 1
+    return total
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    return {
+        "name": workload.name,
+        "database_name": workload.database_name,
+        "queries": [_labeled_to_dict(labeled) for labeled in workload.queries],
+    }
+
+
+def workload_from_dict(payload: dict) -> Workload:
+    return Workload(
+        name=payload["name"],
+        database_name=payload["database_name"],
+        queries=[_labeled_from_dict(item) for item in payload["queries"]],
+    )
+
+
+def save(workload: Workload, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(workload_to_dict(workload)))
+
+
+def load(path: Path) -> Workload | None:
+    if not path.exists():
+        return None
+    try:
+        return workload_from_dict(json.loads(path.read_text()))
+    except (json.JSONDecodeError, KeyError):
+        return None
+
+
+def cached_path(name: str, key: str, cache_dir: Path | None = None) -> Path:
+    directory = cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR
+    return directory / f"{name}-{key}.json"
+
+
+# -- serialization details -------------------------------------------------
+
+
+def _labeled_to_dict(labeled: LabeledQuery) -> dict:
+    return {
+        "query": _query_to_dict(labeled.query),
+        "true_cardinality": labeled.true_cardinality,
+        "sub_plan_true_cards": [
+            [sorted(tables), count]
+            for tables, count in sorted(
+                labeled.sub_plan_true_cards.items(),
+                key=lambda kv: (len(kv[0]), sorted(kv[0])),
+            )
+        ],
+    }
+
+
+def _labeled_from_dict(payload: dict) -> LabeledQuery:
+    return LabeledQuery(
+        query=_query_from_dict(payload["query"]),
+        true_cardinality=payload["true_cardinality"],
+        sub_plan_true_cards={
+            frozenset(tables): count
+            for tables, count in payload["sub_plan_true_cards"]
+        },
+    )
+
+
+def _query_to_dict(query: Query) -> dict:
+    return {
+        "name": query.name,
+        "tables": sorted(query.tables),
+        "join_edges": [
+            [e.left, e.left_column, e.right, e.right_column, e.one_to_many]
+            for e in query.join_edges
+        ],
+        "predicates": [
+            [p.table, p.column, p.op, list(p.value) if isinstance(p.value, tuple) else p.value]
+            for p in query.predicates
+        ],
+    }
+
+
+def _query_from_dict(payload: dict) -> Query:
+    return Query(
+        tables=frozenset(payload["tables"]),
+        join_edges=tuple(
+            JoinEdge(left, lc, right, rc, one_to_many=otm)
+            for left, lc, right, rc, otm in payload["join_edges"]
+        ),
+        predicates=tuple(
+            Predicate(table, column, op, tuple(value) if isinstance(value, list) else value)
+            for table, column, op, value in payload["predicates"]
+        ),
+        name=payload["name"],
+    )

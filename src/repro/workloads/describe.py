@@ -1,0 +1,54 @@
+"""Workload statistics behind Table 2 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.catalog import JoinGraph
+from repro.workloads.generator import Workload
+from repro.workloads.templates import JoinTemplate
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """The Table-2 row for one workload."""
+
+    name: str
+    num_queries: int
+    joined_tables: tuple[int, int]
+    num_templates: int
+    predicates: tuple[int, int]
+    join_types: str
+    cardinality_range: tuple[int, int]
+    join_forms: tuple[str, ...]
+
+
+def describe(workload: Workload, graph: JoinGraph) -> WorkloadSummary:
+    """Compute the Table-2 summary of ``workload``."""
+    templates = {
+        JoinTemplate(q.query.tables, q.query.join_edges).signature()
+        for q in workload.queries
+    }
+    table_counts = [q.query.num_tables for q in workload.queries]
+    predicate_counts = [q.query.num_predicates for q in workload.queries]
+    has_fk_fk = any(
+        not edge.one_to_many
+        for q in workload.queries
+        for edge in q.query.join_edges
+    )
+    forms = sorted(
+        {
+            graph.join_form(q.query.tables, list(q.query.join_edges))
+            for q in workload.queries
+        }
+    )
+    return WorkloadSummary(
+        name=workload.name,
+        num_queries=len(workload),
+        joined_tables=(min(table_counts), max(table_counts)),
+        num_templates=len(templates),
+        predicates=(min(predicate_counts), max(predicate_counts)),
+        join_types="PK-FK/FK-FK" if has_fk_fk else "PK-FK",
+        cardinality_range=workload.cardinality_range(),
+        join_forms=tuple(forms),
+    )

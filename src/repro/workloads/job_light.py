@@ -1,0 +1,71 @@
+"""The JOB-LIGHT analog workload.
+
+70 labelled queries over 23 star-join templates on the simplified-IMDB
+database, 2-5 joined tables and 1-4 predicates — the properties
+Table 2 of the paper attributes to JOB-LIGHT.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.truecards import TrueCardinalityService
+from repro.engine.database import Database
+from repro.workloads import cache
+from repro.workloads.generator import Workload, WorkloadSpec, build_workload
+from repro.workloads.templates import enumerate_templates
+
+NUM_QUERIES = 70
+NUM_TEMPLATES = 23
+
+
+def build_job_light(
+    database: Database,
+    seed: int = 2,
+    num_queries: int = NUM_QUERIES,
+    num_templates: int = NUM_TEMPLATES,
+    max_cardinality: int = 4_000_000,
+    min_cardinality: int = 50,
+    cache_dir: Path | None = None,
+    use_cache: bool = True,
+) -> Workload:
+    """Build (or load from cache) the JOB-LIGHT analog workload."""
+    key = cache.fingerprint(
+        {
+            "database": database.name,
+            "rows": database.total_rows(),
+            "checksum": cache.database_checksum(database),
+            "seed": seed,
+            "num_queries": num_queries,
+            "num_templates": num_templates,
+            "max_cardinality": max_cardinality,
+            "min_cardinality": min_cardinality,
+        }
+    )
+    path = cache.cached_path("job-light", key, cache_dir)
+    if use_cache:
+        cached = cache.load(path)
+        if cached is not None:
+            return cached
+
+    templates = enumerate_templates(
+        database.join_graph,
+        count=num_templates,
+        seed=seed,
+        min_tables=2,
+        max_tables=5,
+    )
+    spec = WorkloadSpec(
+        name="job-light",
+        total_queries=num_queries,
+        queries_per_template=(2, 4),
+        predicates_range=(1, 4),
+        min_cardinality=min_cardinality,
+        max_cardinality=max_cardinality,
+        seed=seed,
+    )
+    service = TrueCardinalityService(database, max_intermediate_rows=16_000_000)
+    workload = build_workload(database, templates, spec, service)
+    if use_cache:
+        cache.save(workload, path)
+    return workload

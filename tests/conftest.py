@@ -1,0 +1,142 @@
+"""Shared fixtures: small-scale databases and workloads.
+
+Tests run against reduced-scale versions of the benchmark databases so
+the whole suite stays fast; workload labelling results are cached under
+``.cache/test-workloads`` across runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.truecards import TrueCardinalityService
+from repro.datasets.imdb_light import ImdbConfig, build_imdb_light
+from repro.datasets.stats_db import StatsConfig, build_stats
+from repro.engine.catalog import ColumnMeta, JoinEdge, JoinGraph, TableSchema
+from repro.engine.database import Database
+from repro.engine.table import Table
+from repro.workloads.job_light import build_job_light
+from repro.workloads.stats_ceb import build_stats_ceb
+
+TEST_CACHE = Path(__file__).parent / ".workload-cache"
+
+
+@pytest.fixture(scope="session")
+def stats_db() -> Database:
+    return build_stats(StatsConfig().scaled(0.08))
+
+
+@pytest.fixture(scope="session")
+def imdb_db() -> Database:
+    return build_imdb_light(
+        ImdbConfig(
+            title=2_000,
+            cast_info=7_500,
+            movie_companies=3_000,
+            movie_info=5_000,
+            movie_info_idx=2_500,
+            movie_keyword=4_500,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def stats_workload(stats_db):
+    return build_stats_ceb(
+        stats_db,
+        num_queries=30,
+        num_templates=15,
+        min_cardinality=5,
+        max_cardinality=300_000,
+        cache_dir=TEST_CACHE,
+    )
+
+
+@pytest.fixture(scope="session")
+def imdb_workload(imdb_db):
+    return build_job_light(
+        imdb_db,
+        num_queries=20,
+        num_templates=10,
+        min_cardinality=5,
+        max_cardinality=300_000,
+        cache_dir=TEST_CACHE,
+    )
+
+
+@pytest.fixture(scope="session")
+def truecards(stats_db) -> TrueCardinalityService:
+    return TrueCardinalityService(stats_db)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> Database:
+    """A hand-built 3-table database with known contents."""
+    rng = np.random.default_rng(0)
+    users = TableSchema(
+        "users",
+        (
+            ColumnMeta("Id", is_key=True, filterable=False),
+            ColumnMeta("Reputation"),
+        ),
+        primary_key="Id",
+    )
+    posts = TableSchema(
+        "posts",
+        (
+            ColumnMeta("Id", is_key=True, filterable=False),
+            ColumnMeta("OwnerUserId", is_key=True, filterable=False),
+            ColumnMeta("Score"),
+        ),
+        primary_key="Id",
+    )
+    comments = TableSchema(
+        "comments",
+        (
+            ColumnMeta("Id", is_key=True, filterable=False),
+            ColumnMeta("PostId", is_key=True, filterable=False),
+            ColumnMeta("Score"),
+        ),
+        primary_key="Id",
+    )
+    n_users, n_posts, n_comments = 500, 2_000, 3_500
+    graph = JoinGraph()
+    graph.add(JoinEdge("users", "Id", "posts", "OwnerUserId"))
+    graph.add(JoinEdge("posts", "Id", "comments", "PostId"))
+    return Database(
+        name="tiny",
+        tables={
+            "users": Table.from_arrays(
+                users,
+                {
+                    "Id": np.arange(n_users),
+                    "Reputation": rng.zipf(1.5, n_users).clip(max=1_000),
+                },
+            ),
+            "posts": Table.from_arrays(
+                posts,
+                {
+                    "Id": np.arange(n_posts),
+                    "OwnerUserId": rng.integers(0, n_users, n_posts),
+                    "Score": rng.integers(-5, 50, n_posts),
+                },
+            ),
+            "comments": Table.from_arrays(
+                comments,
+                {
+                    "Id": np.arange(n_comments),
+                    "PostId": rng.integers(0, n_posts, n_comments),
+                    "Score": rng.integers(0, 10, n_comments),
+                },
+            ),
+        },
+        join_graph=graph,
+    )

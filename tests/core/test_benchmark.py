@@ -1,0 +1,108 @@
+"""Tests for the end-to-end benchmark driver."""
+
+import pytest
+
+from repro.core.benchmark import EndToEndBenchmark, abort_penalties
+from repro.core.truecards import TrueCardinalityService
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.truecard import TrueCardEstimator
+
+
+@pytest.fixture(scope="module")
+def bench(stats_db, stats_workload):
+    return EndToEndBenchmark(stats_db, stats_workload)
+
+
+@pytest.fixture(scope="module")
+def truecard_run(bench, stats_db):
+    estimator = TrueCardEstimator().fit(stats_db)
+    return bench.run(estimator)
+
+
+@pytest.fixture(scope="module")
+def postgres_run(bench, stats_db):
+    return bench.run(PostgresEstimator().fit(stats_db))
+
+
+class TestTrueCardRun:
+    def test_one_run_per_query(self, truecard_run, stats_workload):
+        assert len(truecard_run.query_runs) == len(stats_workload)
+
+    def test_no_aborts(self, truecard_run):
+        assert truecard_run.aborted_count == 0
+
+    def test_p_error_is_one(self, truecard_run):
+        for run in truecard_run.query_runs:
+            assert run.p_error == pytest.approx(1.0)
+
+    def test_q_errors_are_one(self, truecard_run):
+        for run in truecard_run.query_runs:
+            assert max(run.q_errors) == pytest.approx(1.0)
+
+    def test_execution_matches_label(self, truecard_run, stats_workload):
+        labels = {q.query.name: q.true_cardinality for q in stats_workload}
+        for run in truecard_run.query_runs:
+            assert run.result_cardinality == labels[run.query_name]
+
+    def test_timings_positive(self, truecard_run):
+        for run in truecard_run.query_runs:
+            assert run.execution_seconds > 0
+            assert run.end_to_end_seconds >= run.execution_seconds
+
+
+class TestEstimatorRun:
+    def test_postgres_results_match_truth(self, postgres_run, stats_workload):
+        """Whatever plan is chosen, the answer must be correct."""
+        labels = {q.query.name: q.true_cardinality for q in stats_workload}
+        for run in postgres_run.query_runs:
+            if not run.aborted:
+                assert run.result_cardinality == labels[run.query_name]
+
+    def test_p_errors_at_least_one(self, postgres_run):
+        for run in postgres_run.query_runs:
+            assert run.p_error >= 1.0 - 1e-9
+
+    def test_q_errors_cover_subplan_space(self, postgres_run, stats_workload):
+        from repro.core.injection import sub_plan_sets
+
+        by_name = {q.query.name: q.query for q in stats_workload}
+        for run in postgres_run.query_runs:
+            assert len(run.q_errors) == len(sub_plan_sets(by_name[run.query_name]))
+
+    def test_plan_metadata_recorded(self, postgres_run):
+        for run in postgres_run.query_runs:
+            assert run.join_order
+            assert run.methods
+
+    def test_aggregates(self, postgres_run):
+        total = postgres_run.total_end_to_end_seconds()
+        assert total == pytest.approx(
+            postgres_run.total_execution_seconds()
+            + postgres_run.total_planning_seconds()
+        )
+        assert len(postgres_run.all_p_errors()) == len(postgres_run.query_runs)
+        assert len(postgres_run.all_q_errors()) >= len(postgres_run.query_runs)
+
+
+class TestPenalties:
+    def test_abort_penalties_scale_baseline(self, truecard_run):
+        penalties = abort_penalties(truecard_run, factor=10.0, floor_seconds=0.5)
+        assert set(penalties) == {r.query_name for r in truecard_run.query_runs}
+        assert all(value >= 0.5 for value in penalties.values())
+
+    def test_penalty_applied_only_to_aborted(self, postgres_run, truecard_run):
+        penalties = abort_penalties(truecard_run)
+        with_penalty = postgres_run.total_execution_seconds(penalties)
+        without = postgres_run.total_execution_seconds()
+        if postgres_run.aborted_count == 0:
+            assert with_penalty == pytest.approx(without)
+        else:
+            assert with_penalty > without
+
+
+class TestSubsetRuns:
+    def test_run_on_subset(self, bench, stats_db, stats_workload):
+        estimator = PostgresEstimator().fit(stats_db)
+        subset = stats_workload.queries[:3]
+        run = bench.run(estimator, queries=subset)
+        assert len(run.query_runs) == 3

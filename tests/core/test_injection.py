@@ -1,0 +1,81 @@
+"""Tests for sub-plan space derivation and estimate injection."""
+
+import pytest
+
+from repro.core.injection import estimate_sub_plans, sub_plan_queries, sub_plan_sets
+from repro.engine.catalog import JoinEdge
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+
+E_AB = JoinEdge("a", "id", "b", "a_id")
+E_BC = JoinEdge("b", "id", "c", "b_id")
+E_BD = JoinEdge("b", "id", "d", "b_id")
+
+
+def star_query():
+    return Query(
+        tables=frozenset({"a", "b", "c", "d"}),
+        join_edges=(E_AB, E_BC, E_BD),
+        predicates=(Predicate("a", "x", "=", 1),),
+        name="star",
+    )
+
+
+class TestSubPlanSets:
+    def test_paper_example(self):
+        """The A join B join C example from Section 4.2."""
+        query = Query(tables=frozenset({"a", "b", "c"}), join_edges=(E_AB, E_BC))
+        subsets = sub_plan_sets(query)
+        assert len(subsets) == 6  # a, b, c, ab, bc, abc (ac disconnected)
+        assert frozenset({"a", "c"}) not in subsets
+
+    def test_star_counts(self):
+        # Connected subsets of a 3-leaf star: 4 singles, 3 pairs with
+        # hub, 3 triples with hub, 1 full = 11.
+        assert len(sub_plan_sets(star_query())) == 11
+
+    def test_ordering_smallest_first(self):
+        subsets = sub_plan_sets(star_query())
+        sizes = [len(s) for s in subsets]
+        assert sizes == sorted(sizes)
+
+    def test_single_table(self):
+        query = Query(tables=frozenset({"a"}))
+        assert sub_plan_sets(query) == [frozenset({"a"})]
+
+
+class TestSubPlanQueries:
+    def test_predicates_follow_tables(self):
+        queries = sub_plan_queries(star_query())
+        assert len(queries[frozenset({"a", "b"})].predicates) == 1
+        assert len(queries[frozenset({"b", "c"})].predicates) == 0
+
+    def test_edges_follow_tables(self):
+        queries = sub_plan_queries(star_query())
+        assert queries[frozenset({"a", "b", "c"})].join_edges == (E_AB, E_BC)
+
+
+class _FixedEstimator:
+    def __init__(self, value):
+        self.value = value
+        self.calls = 0
+
+    def estimate(self, query):
+        self.calls += 1
+        return self.value
+
+
+class TestEstimateSubPlans:
+    def test_one_estimate_per_subset(self):
+        estimator = _FixedEstimator(42.0)
+        cards = estimate_sub_plans(estimator, star_query())
+        assert estimator.calls == 11
+        assert set(cards) == set(sub_plan_sets(star_query()))
+
+    def test_estimates_clamped_to_one(self):
+        cards = estimate_sub_plans(_FixedEstimator(0.0), star_query())
+        assert all(value == 1.0 for value in cards.values())
+
+    def test_negative_estimates_clamped(self):
+        cards = estimate_sub_plans(_FixedEstimator(-5.0), star_query())
+        assert all(value == 1.0 for value in cards.values())

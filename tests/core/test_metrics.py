@@ -1,0 +1,101 @@
+"""Tests for Q-Error and P-Error."""
+
+import numpy as np
+import pytest
+
+from repro.core.injection import sub_plan_sets
+from repro.core.metrics import p_error, percentiles, q_error, rank_correlation
+from repro.core.truecards import TrueCardinalityService
+from repro.engine.planner import Planner
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+
+
+class TestQError:
+    def test_exact_is_one(self):
+        assert q_error(100, 100) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(10, 100) == q_error(100, 10) == 10.0
+
+    def test_clamps_below_one_row(self):
+        assert q_error(0.0, 1.0) == 1.0
+        assert q_error(1.0, 0.0) == 1.0
+
+    def test_paper_o12_example(self):
+        """Q-Error cannot distinguish small from large mistakes — the
+        motivating flaw."""
+        assert q_error(1, 10) == q_error(1e11, 1e12)
+
+    def test_paper_o13_example(self):
+        """...nor under- from over-estimation."""
+        assert q_error(1e9, 1e10) == q_error(1e11, 1e10)
+
+
+@pytest.fixture(scope="module")
+def planning_setup(tiny_db):
+    graph = tiny_db.join_graph
+    query = Query(
+        tables=frozenset({"users", "posts", "comments"}),
+        join_edges=tuple(graph.edges),
+        predicates=(Predicate("users", "Reputation", ">", 3),),
+        name="perr",
+    )
+    service = TrueCardinalityService(tiny_db)
+    true_cards = {
+        s: float(c) for s, c in service.sub_plan_cards(query).items()
+    }
+    return Planner(tiny_db), query, true_cards
+
+
+class TestPError:
+    def test_true_cards_give_one(self, planning_setup):
+        planner, query, true_cards = planning_setup
+        assert p_error(planner, query, true_cards, true_cards) == pytest.approx(1.0)
+
+    def test_never_below_one(self, planning_setup):
+        planner, query, true_cards = planning_setup
+        bad = {s: 1.0 for s in true_cards}
+        assert p_error(planner, query, bad, true_cards) >= 1.0
+
+    def test_distinguishes_under_from_overestimation(self, planning_setup):
+        """The property Q-Error lacks (O13): a 10x under- and a 10x
+        over-estimate may produce different plans, hence different
+        P-Errors, even though their Q-Errors are identical."""
+        planner, query, true_cards = planning_setup
+        under = {s: v / 10 for s, v in true_cards.items()}
+        over = {s: v * 10 for s, v in true_cards.items()}
+        p_under = p_error(planner, query, under, true_cards)
+        p_over = p_error(planner, query, over, true_cards)
+        assert q_error(10, 100) == q_error(1000, 100)  # identical Q-Error
+        assert p_under != pytest.approx(p_over) or (
+            p_under == pytest.approx(1.0) and p_over == pytest.approx(1.0)
+        )
+
+    def test_catastrophic_underestimation_costs_more(self, planning_setup):
+        planner, query, true_cards = planning_setup
+        terrible = {
+            s: (1.0 if len(s) > 1 else v) for s, v in true_cards.items()
+        }
+        assert p_error(planner, query, terrible, true_cards) > 1.0
+
+
+class TestHelpers:
+    def test_percentiles(self):
+        values = list(range(1, 101))
+        result = percentiles([float(v) for v in values])
+        assert result[50] == pytest.approx(50.5)
+        assert result[99] == pytest.approx(99.01)
+
+    def test_percentiles_empty(self):
+        result = percentiles([])
+        assert np.isnan(result[50])
+
+    def test_rank_correlation_perfect(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert rank_correlation(x, x) == pytest.approx(1.0)
+        assert rank_correlation(x, x[::-1]) == pytest.approx(-1.0)
+
+    def test_rank_correlation_degenerate(self):
+        assert np.isnan(rank_correlation([1.0], [1.0]))
+        assert np.isnan(rank_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]))

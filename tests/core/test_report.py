@@ -1,0 +1,89 @@
+"""Tests for report formatting helpers."""
+
+from repro.core.report import (
+    format_bytes,
+    format_count,
+    format_improvement,
+    format_seconds,
+    render_table,
+)
+
+
+class TestFormatSeconds:
+    def test_units(self):
+        assert format_seconds(7_200) == "2.00h"
+        assert format_seconds(90) == "1.50m"
+        assert format_seconds(2.5) == "2.50s"
+        assert format_seconds(0.25) == "250ms"
+
+    def test_aborted_marker(self):
+        assert format_seconds(3_600, aborted=True).startswith("> ")
+
+
+class TestFormatImprovement:
+    def test_positive_and_negative(self):
+        assert format_improvement(100, 50) == "+50.0%"
+        assert format_improvement(100, 150) == "-50.0%"
+        assert format_improvement(100, 100) == "+0.0%"
+
+    def test_zero_baseline(self):
+        assert format_improvement(0, 10) == "n/a"
+
+
+class TestFormatCount:
+    def test_small_integer(self):
+        assert format_count(146) == "146"
+
+    def test_scientific(self):
+        assert "e+" in format_count(3e16)
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(10 * 1024) == "10.0KB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0MB"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["Method", "Time"],
+            [["PostgreSQL", "1.2s"], ["FLAT", "0.9s"]],
+            title="Table 3",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 3"
+        assert "Method" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(["A"], [["a-very-long-cell"]])
+        header, separator, row = text.splitlines()
+        assert len(separator) == len("a-very-long-cell")
+
+
+class TestRenderBars:
+    def test_scaling_and_format(self):
+        from repro.core.report import render_bars
+
+        text = render_bars(["a", "bb"], [2.0, 1.0], title="T", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_zero_values(self):
+        from repro.core.report import render_bars
+
+        text = render_bars(["x"], [0.0])
+        assert "#" not in text
+
+    def test_length_mismatch(self):
+        import pytest
+
+        from repro.core.report import render_bars
+
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])

@@ -1,0 +1,78 @@
+"""Tests for the OLTP/OLAP split and the update experiment."""
+
+import pytest
+
+from repro.core.benchmark import EndToEndBenchmark
+from repro.core.update_bench import run_update_experiment
+from repro.core.workload_split import split_query_names, split_times
+from repro.datasets.stats_db import StatsConfig, build_stats
+from repro.estimators.datad import BayesCardEstimator
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.truecard import TrueCardEstimator
+
+
+@pytest.fixture(scope="module")
+def baseline_run(stats_db, stats_workload):
+    bench = EndToEndBenchmark(stats_db, stats_workload)
+    return bench.run(TrueCardEstimator().fit(stats_db))
+
+
+class TestWorkloadSplit:
+    def test_partition_complete(self, baseline_run):
+        tp, ap = split_query_names(baseline_run, quantile=0.75)
+        all_names = {run.query_name for run in baseline_run.query_runs}
+        assert tp | ap == all_names
+        assert not (tp & ap)
+
+    def test_tp_queries_are_faster(self, baseline_run):
+        tp, ap = split_query_names(baseline_run, quantile=0.75)
+        times = {r.query_name: r.execution_seconds for r in baseline_run.query_runs}
+        if tp and ap:
+            assert max(times[n] for n in tp) <= min(times[n] for n in ap) + 1e-9
+
+    def test_split_times_aggregate(self, baseline_run):
+        tp, _ = split_query_names(baseline_run, quantile=0.75)
+        aggregate = split_times(baseline_run, tp)
+        total = (
+            aggregate.tp_execution_seconds
+            + aggregate.ap_execution_seconds
+        )
+        assert total == pytest.approx(baseline_run.total_execution_seconds())
+        assert 0.0 <= aggregate.tp_planning_share <= 1.0
+
+
+class TestUpdateExperiment:
+    @pytest.fixture(scope="class")
+    def fresh_setup(self, stats_workload):
+        # A fresh database instance: the experiment mutates it.
+        database = build_stats(StatsConfig().scaled(0.08))
+        return database, stats_workload
+
+    def test_postgres_update(self, fresh_setup):
+        database, workload = fresh_setup
+        result = run_update_experiment(database, workload, PostgresEstimator())
+        assert result.update_seconds > 0
+        assert result.run_after_update.aborted_count <= len(workload)
+        assert len(result.run_after_update.query_runs) == len(workload)
+
+    def test_bayescard_update_fast_and_accurate(self, stats_workload):
+        database = build_stats(StatsConfig().scaled(0.08))
+        result = run_update_experiment(
+            database, stats_workload, BayesCardEstimator()
+        )
+        # Structure-preserving parameter refresh: cheaper than initial
+        # training would suggest and still accurate (O10).
+        from repro.core.metrics import percentiles
+
+        p50 = percentiles(result.run_after_update.all_p_errors())[50]
+        assert p50 < 10.0
+
+    def test_updated_answers_remain_exact(self, stats_workload):
+        """After re-inserting the post-split rows the database content
+        equals the original, so every query result must match labels."""
+        database = build_stats(StatsConfig().scaled(0.08))
+        result = run_update_experiment(database, stats_workload, PostgresEstimator())
+        labels = {q.query.name: q.true_cardinality for q in stats_workload}
+        for run in result.run_after_update.query_runs:
+            if not run.aborted:
+                assert run.result_cardinality == labels[run.query_name]

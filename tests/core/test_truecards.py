@@ -1,0 +1,81 @@
+"""Tests for the exact-cardinality service."""
+
+import numpy as np
+import pytest
+
+from repro.core.injection import sub_plan_sets
+from repro.core.truecards import TrueCardinalityService
+from repro.engine.executor import ExecutionAborted
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+
+
+@pytest.fixture(scope="module")
+def service(tiny_db):
+    return TrueCardinalityService(tiny_db)
+
+
+@pytest.fixture(scope="module")
+def query(tiny_db):
+    return Query(
+        tables=frozenset({"users", "posts", "comments"}),
+        join_edges=tuple(tiny_db.join_graph.edges),
+        predicates=(Predicate("comments", "Score", "<=", 5),),
+        name="tc",
+    )
+
+
+class TestExactness:
+    def test_matches_bruteforce(self, tiny_db, service, query):
+        owner = tiny_db.tables["posts"].column("OwnerUserId").values
+        post_of = tiny_db.tables["comments"].column("PostId").values
+        scores = tiny_db.tables["comments"].column("Score").values
+        expected = int((scores[np.arange(len(scores))] <= 5).sum())
+        # every comment has a post and every post an owner in tiny_db
+        assert service.cardinality(query) == expected
+
+    def test_subplan_space_complete(self, service, query):
+        cards = service.sub_plan_cards(query)
+        assert set(cards) == set(sub_plan_sets(query))
+
+    def test_monotone_in_predicates(self, tiny_db, service):
+        loose = Query(
+            tables=frozenset({"posts"}),
+            predicates=(Predicate("posts", "Score", ">=", 0),),
+        )
+        tight = Query(
+            tables=frozenset({"posts"}),
+            predicates=(
+                Predicate("posts", "Score", ">=", 0),
+                Predicate("posts", "Score", "<=", 10),
+            ),
+        )
+        assert service.cardinality(tight) <= service.cardinality(loose)
+
+
+class TestCaching:
+    def test_cache_hit_is_fast(self, tiny_db, query):
+        import time
+
+        service = TrueCardinalityService(tiny_db)
+        t0 = time.perf_counter()
+        service.sub_plan_cards(query)
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        service.sub_plan_cards(query)
+        warm = time.perf_counter() - t0
+        assert warm < cold
+
+    def test_invalidate_clears(self, tiny_db, query):
+        service = TrueCardinalityService(tiny_db)
+        service.sub_plan_cards(query)
+        assert service._cache
+        service.invalidate()
+        assert not service._cache
+
+
+class TestBudget:
+    def test_budget_propagates(self, tiny_db, query):
+        service = TrueCardinalityService(tiny_db, max_intermediate_rows=5)
+        with pytest.raises(ExecutionAborted):
+            service.sub_plan_cards(query)

@@ -1,0 +1,54 @@
+"""Tests for grid-search tuning against P-Error."""
+
+import pytest
+
+from repro.core.tuning import TuningResult, grid_search, score_estimator
+from repro.estimators.datad import BayesCardEstimator
+from repro.estimators.truecard import TrueCardEstimator
+
+
+class TestScore:
+    def test_truecard_scores_one(self, stats_db, stats_workload):
+        estimator = TrueCardEstimator().fit(stats_db)
+        for labeled in stats_workload.queries:
+            estimator.preload_labeled(labeled)
+        score = score_estimator(estimator, stats_db, stats_workload)
+        assert score == pytest.approx(1.0)
+
+    def test_real_estimator_scores_at_least_one(self, stats_db, stats_workload):
+        estimator = BayesCardEstimator().fit(stats_db)
+        assert score_estimator(estimator, stats_db, stats_workload) >= 1.0
+
+
+class TestGridSearch:
+    def test_picks_best_trial(self, stats_db, stats_workload):
+        validation = stats_workload.subset(
+            {q.query.name for q in stats_workload.queries[:8]}
+        )
+        result = grid_search(
+            BayesCardEstimator,
+            {"key_buckets": [4, 32]},
+            stats_db,
+            validation,
+        )
+        assert isinstance(result, TuningResult)
+        assert len(result.trials) == 2
+        assert result.best_score == min(score for _, score in result.trials)
+        assert result.best_params in [params for params, _ in result.trials]
+        assert result.seconds > 0
+
+    def test_multi_dimensional_grid(self, stats_db, stats_workload):
+        validation = stats_workload.subset(
+            {q.query.name for q in stats_workload.queries[:4]}
+        )
+        result = grid_search(
+            BayesCardEstimator,
+            {"key_buckets": [8, 16], "max_attribute_bins": [8, 16]},
+            stats_db,
+            validation,
+        )
+        assert len(result.trials) == 4
+
+    def test_empty_grid_rejected(self, stats_db, stats_workload):
+        with pytest.raises(ValueError):
+            grid_search(BayesCardEstimator, {}, stats_db, stats_workload)

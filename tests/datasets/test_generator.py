@@ -1,0 +1,109 @@
+"""Tests for the data-generation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import generator as gen
+
+
+class TestZipfInts:
+    def test_domain_respected(self, rng):
+        values = gen.zipf_ints(rng, 5_000, domain=100, start=10)
+        assert values.min() >= 10 and values.max() < 110
+
+    def test_skew_increases_with_exponent(self, rng):
+        mild = gen.zipf_ints(rng, 20_000, domain=100, exponent=1.05)
+        steep = gen.zipf_ints(rng, 20_000, domain=100, exponent=2.5)
+        top_mild = (mild == mild.min()).mean()
+        top_steep = (steep == steep.min()).mean()
+        assert top_steep > top_mild
+
+    def test_invalid_domain(self, rng):
+        with pytest.raises(ValueError):
+            gen.zipf_ints(rng, 10, domain=0)
+
+    def test_deterministic_for_seed(self):
+        a = gen.zipf_ints(np.random.default_rng(3), 100, domain=50)
+        b = gen.zipf_ints(np.random.default_rng(3), 100, domain=50)
+        assert np.array_equal(a, b)
+
+
+class TestCorrelatedInts:
+    def test_correlation_tunable(self, rng):
+        base = gen.zipf_ints(rng, 20_000, domain=500)
+        strong = gen.correlated_ints(rng, base, domain=500, correlation=0.9)
+        weak = gen.correlated_ints(rng, base, domain=500, correlation=0.05)
+        assert abs(np.corrcoef(base, strong)[0, 1]) > abs(np.corrcoef(base, weak)[0, 1])
+
+    def test_zero_correlation_is_independent_draw(self, rng):
+        base = np.arange(10_000)
+        out = gen.correlated_ints(rng, base, domain=100, correlation=0.0)
+        assert abs(np.corrcoef(base, out)[0, 1]) < 0.1
+
+    def test_invalid_correlation(self, rng):
+        with pytest.raises(ValueError):
+            gen.correlated_ints(rng, np.arange(10), domain=5, correlation=1.5)
+
+    def test_constant_base(self, rng):
+        out = gen.correlated_ints(rng, np.zeros(100), domain=10, correlation=0.5)
+        assert len(out) == 100
+
+
+class TestFanoutKeys:
+    def test_all_keys_are_parents(self, rng):
+        parents = np.arange(50)
+        keys = gen.powerlaw_fanout_keys(rng, 2_000, parents)
+        assert set(keys) <= set(parents)
+
+    def test_skewed_degrees(self, rng):
+        parents = np.arange(200)
+        keys = gen.powerlaw_fanout_keys(rng, 20_000, parents, exponent=1.5)
+        _, counts = np.unique(keys, return_counts=True)
+        assert counts.max() > 5 * np.median(counts)
+
+    def test_weights_bias_heavy_parents(self, rng):
+        parents = np.arange(100)
+        weights = np.zeros(100)
+        weights[7] = 1_000.0
+        keys = gen.powerlaw_fanout_keys(rng, 5_000, parents, weights=weights)
+        assert (keys == 7).mean() > 0.5
+
+
+class TestDates:
+    def test_range(self, rng):
+        days = gen.skewed_dates(rng, 10_000, 100, 500)
+        assert days.min() >= 100 and days.max() <= 500
+
+    def test_recency_bias(self, rng):
+        biased = gen.skewed_dates(rng, 20_000, 0, 1_000, recency_bias=3.0)
+        uniform = gen.skewed_dates(rng, 20_000, 0, 1_000, recency_bias=1.0)
+        assert biased.mean() > uniform.mean()
+
+    def test_invalid_range(self, rng):
+        with pytest.raises(ValueError):
+            gen.skewed_dates(rng, 10, 5, 5)
+
+
+class TestNullsAndBounds:
+    def test_null_fraction(self, rng):
+        _, mask = gen.with_nulls(rng, np.arange(50_000), null_frac=0.3)
+        assert abs(mask.mean() - 0.3) < 0.02
+
+    def test_bounded(self):
+        out = gen.bounded(np.array([-5, 0, 5, 50]), 0, 10)
+        assert list(out) == [0, 0, 5, 10]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 500),
+    domain=st.integers(1, 200),
+    exponent=st.floats(0.5, 3.0),
+)
+def test_zipf_always_within_domain(n, domain, exponent):
+    rng = np.random.default_rng(0)
+    values = gen.zipf_ints(rng, n, domain=domain, exponent=exponent)
+    assert len(values) == n
+    assert values.min() >= 0 and values.max() < domain

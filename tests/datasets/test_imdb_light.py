@@ -1,0 +1,58 @@
+"""Tests for the simplified-IMDB database."""
+
+import numpy as np
+
+from repro.datasets.imdb_light import build_imdb_light, imdb_join_graph
+
+
+class TestSchema:
+    def test_six_tables(self, imdb_db):
+        assert len(imdb_db.tables) == 6
+        assert "title" in imdb_db.tables
+
+    def test_five_star_edges(self):
+        graph = imdb_join_graph()
+        assert len(graph.edges) == 5
+        assert all(e.left == "title" for e in graph.edges)
+        assert all(e.one_to_many for e in graph.edges)
+
+    def test_acyclic_star_schema(self, imdb_db):
+        graph = imdb_db.join_graph
+        assert len(graph.edges) == len(graph.tables) - 1
+
+    def test_few_filterable_attributes(self, imdb_db):
+        per_table = [
+            len(t.schema.filterable_columns) for t in imdb_db.tables.values()
+        ]
+        assert max(per_table) <= 2
+
+
+class TestData:
+    def test_referential_integrity(self, imdb_db):
+        titles = set(imdb_db.tables["title"].column("id").values)
+        for name in imdb_db.tables:
+            if name == "title":
+                continue
+            movie = imdb_db.tables[name].column("movie_id").values
+            assert set(movie) <= titles
+
+    def test_production_years_plausible(self, imdb_db):
+        years = imdb_db.tables["title"].column("production_year").values
+        assert years.min() >= 1930 and years.max() <= 2021
+
+    def test_milder_fanout_than_stats(self, imdb_db, stats_db):
+        imdb_keys = imdb_db.tables["cast_info"].column("movie_id").values
+        stats_keys = stats_db.tables["comments"].column("UserId").values
+        _, imdb_counts = np.unique(imdb_keys, return_counts=True)
+        _, stats_counts = np.unique(stats_keys, return_counts=True)
+        imdb_ratio = imdb_counts.max() / imdb_counts.mean()
+        stats_ratio = stats_counts.max() / stats_counts.mean()
+        assert stats_ratio > imdb_ratio
+
+    def test_deterministic(self):
+        a = build_imdb_light()
+        b = build_imdb_light()
+        assert np.array_equal(
+            a.tables["title"].column("kind_id").values,
+            b.tables["title"].column("kind_id").values,
+        )

@@ -1,0 +1,72 @@
+"""Tests for CSV export/import of benchmark databases."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import export_csv, import_csv
+from repro.datasets.stats_db import StatsConfig, build_stats
+
+
+@pytest.fixture(scope="module")
+def small_db():
+    return build_stats(StatsConfig().scaled(0.01))
+
+
+@pytest.fixture(scope="module")
+def round_tripped(small_db, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("csv")
+    export_csv(small_db, directory)
+    return directory, import_csv(directory)
+
+
+class TestRoundTrip:
+    def test_files_written(self, small_db, round_tripped):
+        directory, _ = round_tripped
+        assert (directory / "schema.json").exists()
+        for name in small_db.tables:
+            assert (directory / f"{name}.csv").exists()
+
+    def test_values_identical(self, small_db, round_tripped):
+        _, loaded = round_tripped
+        for name, table in small_db.tables.items():
+            restored = loaded.tables[name]
+            assert restored.num_rows == table.num_rows
+            for column_name in table.schema.column_names:
+                original = table.column(column_name)
+                copy = restored.column(column_name)
+                assert np.array_equal(original.null_mask, copy.null_mask)
+                valid = ~original.null_mask
+                assert np.array_equal(original.values[valid], copy.values[valid])
+
+    def test_schema_identical(self, small_db, round_tripped):
+        _, loaded = round_tripped
+        for name, table in small_db.tables.items():
+            restored = loaded.tables[name].schema
+            assert restored.column_names == table.schema.column_names
+            assert restored.primary_key == table.schema.primary_key
+            for meta, copy in zip(table.schema.columns, restored.columns):
+                assert meta == copy
+
+    def test_join_graph_identical(self, small_db, round_tripped):
+        _, loaded = round_tripped
+        assert loaded.join_graph.edges == small_db.join_graph.edges
+
+    def test_loaded_database_queryable(self, round_tripped):
+        _, loaded = round_tripped
+        from repro.core.truecards import TrueCardinalityService
+        from repro.engine.query import Query
+
+        edge = loaded.join_graph.edges_between("users", "posts")[0]
+        query = Query(
+            tables=frozenset({"users", "posts"}), join_edges=(edge,), name="rt"
+        )
+        assert TrueCardinalityService(loaded).cardinality(query) > 0
+
+    def test_header_mismatch_rejected(self, small_db, tmp_path):
+        export_csv(small_db, tmp_path)
+        users = tmp_path / "users.csv"
+        content = users.read_text().splitlines()
+        content[0] = "bogus,header"
+        users.write_text("\n".join(content))
+        with pytest.raises(ValueError, match="header"):
+            import_csv(tmp_path)

@@ -1,0 +1,132 @@
+"""Tests for the STATS-like benchmark database."""
+
+import numpy as np
+
+from repro.datasets.stats_db import (
+    DATE_COLUMNS,
+    SPLIT_DAY,
+    StatsConfig,
+    build_stats,
+    split_by_date,
+    stats_join_graph,
+)
+
+
+class TestSchema:
+    def test_eight_tables(self, stats_db):
+        assert len(stats_db.tables) == 8
+        assert set(stats_db.tables) == {
+            "users",
+            "badges",
+            "posts",
+            "comments",
+            "votes",
+            "postHistory",
+            "postLinks",
+            "tags",
+        }
+
+    def test_twelve_join_relations(self):
+        graph = stats_join_graph()
+        assert len(graph.edges) == 12
+
+    def test_exactly_one_fk_fk_edge(self):
+        graph = stats_join_graph()
+        fk_fk = [e for e in graph.edges if not e.one_to_many]
+        assert len(fk_fk) == 1
+        assert fk_fk[0].tables == frozenset({"badges", "comments"})
+
+    def test_23_filterable_attributes(self, stats_db):
+        total = sum(
+            len(t.schema.filterable_columns) for t in stats_db.tables.values()
+        )
+        assert total == 23
+
+    def test_cyclic_schema(self, stats_db):
+        """STATS's schema graph is cyclic (unlike the IMDB star) —
+        NeuroCard's tree extraction depends on this property."""
+        graph = stats_db.join_graph
+        assert len(graph.edges) > len(graph.tables) - 1
+
+
+class TestDataProperties:
+    def test_referential_integrity(self, stats_db):
+        users = set(stats_db.tables["users"].column("Id").values)
+        owner = stats_db.tables["posts"].column("OwnerUserId")
+        assert set(owner.values[~owner.null_mask]) <= users
+
+    def test_child_dates_after_parent(self, stats_db):
+        posts = stats_db.tables["posts"]
+        users = stats_db.tables["users"]
+        owner = posts.column("OwnerUserId").values
+        assert (
+            posts.column("CreationDate").values
+            >= users.column("CreationDate").values[owner]
+        ).all()
+
+    def test_skewed_fanout(self, stats_db):
+        owner = stats_db.tables["posts"].column("OwnerUserId").values
+        _, counts = np.unique(owner, return_counts=True)
+        assert counts.max() >= 10 * np.median(counts)
+
+    def test_votes_have_null_users(self, stats_db):
+        user = stats_db.tables["votes"].column("UserId")
+        assert 0.2 < user.null_mask.mean() < 0.6
+
+    def test_bounty_nulls_follow_vote_type(self, stats_db):
+        votes = stats_db.tables["votes"]
+        vote_type = votes.column("VoteTypeId").values
+        bounty_null = votes.column("BountyAmount").null_mask
+        has_bounty = ~bounty_null
+        assert np.isin(vote_type[has_bounty], (8, 9)).all()
+
+    def test_correlated_attributes(self, stats_db):
+        posts = stats_db.tables["posts"]
+        score = posts.column("Score").values
+        views = posts.column("ViewCount").values
+        assert abs(np.corrcoef(score, views)[0, 1]) > 0.3
+
+    def test_deterministic(self):
+        config = StatsConfig().scaled(0.02)
+        a, b = build_stats(config), build_stats(config)
+        for name in a.tables:
+            assert np.array_equal(
+                a.tables[name].column(a.tables[name].schema.column_names[0]).values,
+                b.tables[name].column(b.tables[name].schema.column_names[0]).values,
+            )
+
+    def test_scaled_config(self):
+        config = StatsConfig().scaled(0.5)
+        assert config.users == 8_000
+        assert config.seed == StatsConfig().seed
+
+
+class TestSplitByDate:
+    def test_split_partitions_rows(self, stats_db):
+        old, new = split_by_date(stats_db, SPLIT_DAY)
+        for name, table in stats_db.tables.items():
+            assert old.tables[name].num_rows + new[name].num_rows == table.num_rows
+
+    def test_old_rows_before_split(self, stats_db):
+        old, _ = split_by_date(stats_db, SPLIT_DAY)
+        for name, column in DATE_COLUMNS.items():
+            dates = old.tables[name].column(column).values
+            if len(dates):
+                assert dates.max() < SPLIT_DAY
+
+    def test_split_roughly_half(self, stats_db):
+        old, _ = split_by_date(stats_db, SPLIT_DAY)
+        fraction = old.total_rows() / stats_db.total_rows()
+        assert 0.25 < fraction < 0.85
+
+    def test_tags_stay_in_old(self, stats_db):
+        old, new = split_by_date(stats_db, SPLIT_DAY)
+        assert old.tables["tags"].num_rows == stats_db.tables["tags"].num_rows
+        assert new["tags"].num_rows == 0
+
+    def test_reinsert_restores_counts(self, stats_db):
+        old, new = split_by_date(stats_db, SPLIT_DAY)
+        for name, delta in new.items():
+            if delta.num_rows:
+                old.insert(name, delta)
+        assert old.total_rows() == stats_db.total_rows()

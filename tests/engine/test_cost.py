@@ -1,0 +1,132 @@
+"""Tests for the PostgreSQL-flavoured cost model."""
+
+import pytest
+
+from repro.engine.catalog import JoinEdge
+from repro.engine.cost import CostModel, CostParameters, TableInfo, table_infos
+from repro.engine.plans import (
+    JOIN_HASH,
+    JOIN_INDEX_NL,
+    JOIN_MERGE,
+    SCAN_INDEX,
+    SCAN_SEQ,
+    JoinNode,
+    ScanNode,
+)
+from repro.engine.predicates import Predicate
+
+EDGE = JoinEdge("a", "id", "b", "a_id")
+
+INFOS = {
+    "a": TableInfo(raw_rows=10_000, width=4, pages=40.0),
+    "b": TableInfo(raw_rows=100_000, width=3, pages=300.0),
+}
+
+
+def scan(table, rows, method=SCAN_SEQ, predicates=()):
+    return ScanNode(
+        tables=frozenset((table,)),
+        table=table,
+        predicates=tuple(predicates),
+        method=method,
+        index_column="id" if method == SCAN_INDEX else None,
+    )
+
+
+def cards(a_rows, b_rows, out_rows):
+    return {
+        frozenset({"a"}): a_rows,
+        frozenset({"b"}): b_rows,
+        frozenset({"a", "b"}): out_rows,
+    }
+
+
+@pytest.fixture()
+def model():
+    return CostModel(INFOS)
+
+
+class TestScanCost:
+    def test_seq_scan_charges_whole_table(self, model):
+        cheap = model.scan_cost(scan("a", 1), cards(1, 0, 0))
+        expensive = model.scan_cost(scan("b", 1), cards(0, 1, 0))
+        assert expensive > cheap  # bigger table costs more regardless of output
+
+    def test_predicates_add_cpu(self, model):
+        pred = Predicate("a", "x", "=", 1)
+        no_filter = model.scan_cost(scan("a", 100), cards(100, 0, 0))
+        with_filter = model.scan_cost(scan("a", 100, predicates=[pred]), cards(100, 0, 0))
+        assert with_filter > no_filter
+
+    def test_index_scan_cheaper_when_selective(self, model):
+        selective = cards(5, 0, 0)
+        seq = model.scan_cost(scan("a", 5), selective)
+        index = model.scan_cost(scan("a", 5, method=SCAN_INDEX), selective)
+        assert index < seq
+
+    def test_index_scan_more_expensive_when_unselective(self, model):
+        unselective = cards(9_000, 0, 0)
+        seq = model.scan_cost(scan("a", 9_000), unselective)
+        index = model.scan_cost(scan("a", 9_000, method=SCAN_INDEX), unselective)
+        assert index > seq
+
+
+def make_join(method, left_rows, right_rows, out_rows):
+    left = scan("a", left_rows)
+    right = scan("b", right_rows)
+    node = JoinNode(
+        tables=frozenset({"a", "b"}),
+        left=left,
+        right=right,
+        edge=EDGE,
+        method=method,
+    )
+    return node, cards(left_rows, right_rows, out_rows)
+
+
+class TestJoinCost:
+    def test_index_nl_wins_for_tiny_outer(self, model):
+        costs = {}
+        for method in (JOIN_HASH, JOIN_MERGE, JOIN_INDEX_NL):
+            node, c = make_join(method, 3, 50_000, 10)
+            costs[method] = model.plan_cost(node, c)
+        assert costs[JOIN_INDEX_NL] == min(costs.values())
+
+    def test_hash_wins_for_large_inputs(self, model):
+        costs = {}
+        for method in (JOIN_HASH, JOIN_MERGE, JOIN_INDEX_NL):
+            node, c = make_join(method, 50_000, 80_000, 100_000)
+            costs[method] = model.plan_cost(node, c)
+        assert costs[JOIN_HASH] == min(costs.values())
+
+    def test_merge_charges_sorts(self, model):
+        hash_node, c = make_join(JOIN_HASH, 10_000, 10_000, 10_000)
+        merge_node, _ = make_join(JOIN_MERGE, 10_000, 10_000, 10_000)
+        assert model.plan_cost(merge_node, c) > model.plan_cost(hash_node, c)
+
+    def test_join_cost_consistent_with_plan_cost(self, model):
+        node, c = make_join(JOIN_HASH, 1_000, 2_000, 5_000)
+        left_cost = model.plan_cost(node.left, c)
+        right_cost = model.plan_cost(node.right, c)
+        assert model.plan_cost(node, c) == pytest.approx(
+            model.join_cost(node, c, left_cost, right_cost)
+        )
+
+    def test_more_output_rows_cost_more(self, model):
+        cheap_node, cheap_cards = make_join(JOIN_HASH, 1_000, 1_000, 10)
+        costly_node, costly_cards = make_join(JOIN_HASH, 1_000, 1_000, 1_000_000)
+        assert model.plan_cost(costly_node, costly_cards) > model.plan_cost(
+            cheap_node, cheap_cards
+        )
+
+
+class TestInfrastructure:
+    def test_table_infos(self, tiny_db):
+        infos = table_infos(tiny_db)
+        assert infos["users"].raw_rows == tiny_db.tables["users"].num_rows
+        assert infos["users"].pages >= 1.0
+
+    def test_custom_parameters(self):
+        params = CostParameters(cpu_tuple_cost=1.0)
+        model = CostModel(INFOS, params)
+        assert model.params.cpu_tuple_cost == 1.0

@@ -1,0 +1,141 @@
+"""Tests for the executor's physical operators.
+
+All three join implementations must produce identical results (the
+cardinality of the join is operator-independent); the index-NL join
+must apply inner filters after the fetch; the row and pre-expansion
+budgets must abort oversized executions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.catalog import JoinEdge
+from repro.engine.executor import ExecutionAborted, Executor, _expand_ranges
+from repro.engine.plans import (
+    JOIN_HASH,
+    JOIN_INDEX_NL,
+    JOIN_MERGE,
+    JoinNode,
+    ScanNode,
+)
+from repro.engine.predicates import Predicate
+
+
+def scan(table, predicates=()):
+    return ScanNode(tables=frozenset((table,)), table=table, predicates=tuple(predicates))
+
+
+def join(left, right, edge, method):
+    return JoinNode(
+        tables=left.tables | right.tables,
+        left=left,
+        right=right,
+        edge=edge,
+        method=method,
+    )
+
+
+@pytest.fixture(scope="module")
+def edges(tiny_db):
+    users_posts = tiny_db.join_graph.edges_between("users", "posts")[0]
+    posts_comments = tiny_db.join_graph.edges_between("posts", "comments")[0]
+    return users_posts, posts_comments
+
+
+def brute_force_count(tiny_db, user_pred=None, comment_pred=None):
+    users = tiny_db.tables["users"]
+    posts = tiny_db.tables["posts"]
+    comments = tiny_db.tables["comments"]
+    ok_users = set(np.arange(users.num_rows))
+    if user_pred is not None:
+        ok_users = set(np.nonzero(user_pred.mask(users))[0])
+    ok_comments = np.arange(comments.num_rows)
+    if comment_pred is not None:
+        ok_comments = np.nonzero(comment_pred.mask(comments))[0]
+    owner = posts.column("OwnerUserId").values
+    post_of = comments.column("PostId").values
+    return sum(1 for c in ok_comments if owner[post_of[c]] in ok_users)
+
+
+class TestJoinOperators:
+    @pytest.mark.parametrize("method", [JOIN_HASH, JOIN_MERGE, JOIN_INDEX_NL])
+    def test_two_way_join_counts_match(self, tiny_db, edges, method):
+        users_posts, _ = edges
+        plan = join(scan("users"), scan("posts"), users_posts, method)
+        result = Executor(tiny_db).execute(plan)
+        assert result.cardinality == tiny_db.tables["posts"].num_rows
+
+    @pytest.mark.parametrize("method", [JOIN_HASH, JOIN_MERGE])
+    def test_methods_agree_with_filters(self, tiny_db, edges, method):
+        users_posts, posts_comments = edges
+        user_pred = Predicate("users", "Reputation", ">", 2)
+        comment_pred = Predicate("comments", "Score", "<=", 4)
+        inner = join(
+            scan("comments", [comment_pred]),
+            scan("posts"),
+            posts_comments.reversed(),
+            method,
+        )
+        plan = join(inner, scan("users", [user_pred]), users_posts.reversed(), method)
+        result = Executor(tiny_db).execute(plan)
+        assert result.cardinality == brute_force_count(tiny_db, user_pred, comment_pred)
+
+    def test_index_nl_applies_inner_filter_after_fetch(self, tiny_db, edges):
+        users_posts, _ = edges
+        post_pred = Predicate("posts", "Score", ">=", 20)
+        plan = join(scan("users"), scan("posts", [post_pred]), users_posts, JOIN_INDEX_NL)
+        result = Executor(tiny_db).execute(plan)
+        expected = int(post_pred.mask(tiny_db.tables["posts"]).sum())
+        assert result.cardinality == expected
+
+    def test_node_rows_recorded(self, tiny_db, edges):
+        users_posts, _ = edges
+        plan = join(scan("users"), scan("posts"), users_posts, JOIN_HASH)
+        result = Executor(tiny_db).execute(plan)
+        assert result.node_rows[frozenset({"users"})] == tiny_db.tables["users"].num_rows
+        assert result.node_rows[plan.tables] == result.cardinality
+
+    def test_elapsed_time_positive(self, tiny_db, edges):
+        users_posts, _ = edges
+        plan = join(scan("users"), scan("posts"), users_posts, JOIN_HASH)
+        assert Executor(tiny_db).execute(plan).elapsed_seconds > 0
+
+
+class TestBudgets:
+    def test_row_budget_aborts(self, tiny_db, edges):
+        users_posts, _ = edges
+        plan = join(scan("users"), scan("posts"), users_posts, JOIN_HASH)
+        with pytest.raises(ExecutionAborted):
+            Executor(tiny_db, max_intermediate_rows=10).execute(plan)
+
+    def test_timeout_aborts(self, tiny_db, edges):
+        users_posts, _ = edges
+        plan = join(scan("users"), scan("posts"), users_posts, JOIN_HASH)
+        with pytest.raises(ExecutionAborted):
+            Executor(tiny_db, timeout_seconds=-1.0).execute(plan)
+
+
+class TestScan:
+    def test_scan_applies_predicates(self, tiny_db):
+        pred = Predicate("users", "Reputation", "=", 1)
+        result = Executor(tiny_db).execute(scan("users", [pred]))
+        assert result.cardinality == int(pred.mask(tiny_db.tables["users"]).sum())
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    starts=st.lists(st.integers(0, 30), min_size=0, max_size=20),
+    counts=st.lists(st.integers(0, 5), min_size=0, max_size=20),
+)
+def test_expand_ranges_property(starts, counts):
+    """Property: _expand_ranges equals explicit range concatenation."""
+    n = min(len(starts), len(counts))
+    starts_arr = np.asarray(starts[:n], dtype=np.int64)
+    counts_arr = np.asarray(counts[:n], dtype=np.int64)
+    result = _expand_ranges(starts_arr, counts_arr)
+    expected = np.concatenate(
+        [np.arange(s, s + c) for s, c in zip(starts_arr, counts_arr)]
+    ) if n else np.empty(0, dtype=np.int64)
+    assert np.array_equal(result, expected)

@@ -1,0 +1,113 @@
+"""Tests for the DP planner and its cardinality-injection behaviour."""
+
+import pytest
+
+from repro.core.injection import sub_plan_sets
+from repro.engine.executor import Executor
+from repro.engine.planner import Planner
+from repro.engine.plans import JOIN_INDEX_NL, JoinNode, ScanNode, join_order_signature
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+
+
+@pytest.fixture(scope="module")
+def three_way_query(tiny_db):
+    graph = tiny_db.join_graph
+    return Query(
+        tables=frozenset({"users", "posts", "comments"}),
+        join_edges=tuple(graph.edges),
+        predicates=(Predicate("users", "Reputation", ">", 3),),
+        name="planner-test",
+    )
+
+
+def true_cards(tiny_db, query):
+    from repro.core.truecards import TrueCardinalityService
+
+    return {
+        subset: float(count)
+        for subset, count in TrueCardinalityService(tiny_db).sub_plan_cards(query).items()
+    }
+
+
+class TestPlanning:
+    def test_plan_covers_all_tables(self, tiny_db, three_way_query):
+        cards = true_cards(tiny_db, three_way_query)
+        planned = Planner(tiny_db).plan(three_way_query, cards)
+        assert planned.plan.tables == three_way_query.tables
+        assert planned.estimated_cost > 0
+
+    def test_plan_executes_to_true_cardinality(self, tiny_db, three_way_query):
+        cards = true_cards(tiny_db, three_way_query)
+        planned = Planner(tiny_db).plan(three_way_query, cards)
+        result = Executor(tiny_db).execute(planned.plan)
+        assert result.cardinality == cards[three_way_query.tables]
+
+    def test_missing_cardinality_raises(self, tiny_db, three_way_query):
+        with pytest.raises(KeyError):
+            Planner(tiny_db).plan(three_way_query, {})
+
+    def test_single_table_plan_is_scan(self, tiny_db):
+        query = Query(tables=frozenset({"users"}), name="single")
+        planned = Planner(tiny_db).plan(query, {frozenset({"users"}): 10.0})
+        assert isinstance(planned.plan, ScanNode)
+
+    def test_no_cartesian_products(self, tiny_db, three_way_query):
+        """Every join node must sit on an actual query edge."""
+        cards = true_cards(tiny_db, three_way_query)
+        planned = Planner(tiny_db).plan(three_way_query, cards)
+        edges = {e.tables for e in three_way_query.join_edges}
+        for node in planned.plan.walk():
+            if isinstance(node, JoinNode):
+                assert node.edge.tables in edges
+
+
+class TestInjectionSensitivity:
+    """The planner must be *entirely* driven by the injected numbers —
+    the property the paper's integration relies on."""
+
+    def test_underestimation_flips_to_index_nested_loop(self, tiny_db, three_way_query):
+        cards = true_cards(tiny_db, three_way_query)
+        planner = Planner(tiny_db)
+        honest = planner.plan(three_way_query, cards)
+
+        lying = dict(cards)
+        for subset in lying:
+            if len(subset) >= 2:
+                lying[subset] = 1.0  # extreme under-estimation
+        fooled = planner.plan(three_way_query, lying)
+
+        honest_methods = [
+            n.method for n in honest.plan.walk() if isinstance(n, JoinNode)
+        ]
+        fooled_methods = [
+            n.method for n in fooled.plan.walk() if isinstance(n, JoinNode)
+        ]
+        assert JOIN_INDEX_NL in fooled_methods
+        assert fooled_methods != honest_methods or (
+            join_order_signature(fooled.plan) != join_order_signature(honest.plan)
+        )
+
+    def test_different_cards_can_change_join_order(self, tiny_db, three_way_query):
+        cards = true_cards(tiny_db, three_way_query)
+        planner = Planner(tiny_db)
+        baseline = join_order_signature(planner.plan(three_way_query, cards).plan)
+
+        skewed = dict(cards)
+        skewed[frozenset({"users", "posts"})] = 1e9
+        other = join_order_signature(planner.plan(three_way_query, skewed).plan)
+        assert baseline != other
+
+    def test_cost_monotone_in_injected_cards(self, tiny_db, three_way_query):
+        cards = true_cards(tiny_db, three_way_query)
+        planner = Planner(tiny_db)
+        base_cost = planner.plan(three_way_query, cards).estimated_cost
+        inflated = {k: v * 100 for k, v in cards.items()}
+        assert planner.plan(three_way_query, inflated).estimated_cost > base_cost
+
+
+class TestSubPlanSpace:
+    def test_planner_only_needs_connected_subsets(self, tiny_db, three_way_query):
+        cards = true_cards(tiny_db, three_way_query)
+        assert set(cards) == set(sub_plan_sets(three_way_query))
+        Planner(tiny_db).plan(three_way_query, cards)  # no KeyError

@@ -1,0 +1,114 @@
+"""DP planner optimality: compare against exhaustive plan enumeration.
+
+For small queries the complete space of binary join trees (with all
+operator choices) is enumerable; the DP must find a plan of exactly
+the minimal cost under any injected cardinality map.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.injection import sub_plan_sets
+from repro.engine.cost import CostModel, table_infos
+from repro.engine.planner import Planner
+from repro.engine.plans import (
+    JOIN_HASH,
+    JOIN_INDEX_NL,
+    JOIN_MERGE,
+    SCAN_SEQ,
+    JoinNode,
+    ScanNode,
+)
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+
+
+def all_plans(query, cost_model, cards):
+    """Exhaustively enumerate every plan the planner may consider."""
+
+    def plans_for(tables: frozenset):
+        if len(tables) == 1:
+            table = next(iter(tables))
+            yield ScanNode(
+                tables=tables,
+                table=table,
+                predicates=query.predicates_on(table),
+                method=SCAN_SEQ,
+            )
+            return
+        for size in range(1, len(tables)):
+            for left_combo in itertools.combinations(sorted(tables), size):
+                left_set = frozenset(left_combo)
+                right_set = tables - left_set
+                crossing = [
+                    e
+                    for e in query.join_edges
+                    if (e.left in left_set and e.right in right_set)
+                    or (e.left in right_set and e.right in left_set)
+                ]
+                if len(crossing) != 1:
+                    continue
+                edge = crossing[0]
+                for left_plan in plans_for(left_set):
+                    for right_plan in plans_for(right_set):
+                        oriented = edge if edge.left in left_plan.tables else edge.reversed()
+                        methods = [JOIN_HASH, JOIN_MERGE]
+                        if isinstance(right_plan, ScanNode):
+                            methods.append(JOIN_INDEX_NL)
+                        for method in methods:
+                            yield JoinNode(
+                                tables=tables,
+                                left=left_plan,
+                                right=right_plan,
+                                edge=oriented,
+                                method=method,
+                            )
+
+    return plans_for(query.tables)
+
+
+@pytest.fixture(scope="module")
+def query(tiny_db):
+    return Query(
+        tables=frozenset({"users", "posts", "comments"}),
+        join_edges=tuple(tiny_db.join_graph.edges),
+        predicates=(Predicate("users", "Reputation", ">", 2),),
+        name="optimality",
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_dp_matches_exhaustive_minimum(tiny_db, query, seed):
+    """Property: for random injected cardinalities, the DP's plan cost
+    equals the exhaustive minimum over all plans."""
+    rng = np.random.default_rng(seed)
+    cards = {
+        subset: float(rng.integers(1, 10 ** rng.integers(1, 7)))
+        for subset in sub_plan_sets(query)
+    }
+    planner = Planner(tiny_db)
+    planned = planner.plan(query, cards)
+
+    cost_model = CostModel(table_infos(tiny_db))
+    exhaustive_min = min(
+        cost_model.plan_cost(plan, cards) for plan in all_plans(query, cost_model, cards)
+    )
+    assert planned.estimated_cost == pytest.approx(exhaustive_min, rel=1e-9)
+
+
+def test_dp_cost_agrees_with_cost_model(tiny_db, query):
+    """The planner's reported cost equals re-costing its plan."""
+    rng = np.random.default_rng(3)
+    cards = {
+        subset: float(rng.integers(1, 100_000))
+        for subset in sub_plan_sets(query)
+    }
+    planner = Planner(tiny_db)
+    planned = planner.plan(query, cards)
+    recosted = planner.cost_model.plan_cost(planned.plan, cards)
+    assert planned.estimated_cost == pytest.approx(recosted, rel=1e-9)

@@ -1,0 +1,85 @@
+"""Tests for plan-tree utilities."""
+
+from repro.engine.catalog import JoinEdge
+from repro.engine.plans import (
+    JOIN_HASH,
+    JOIN_MERGE,
+    SCAN_SEQ,
+    JoinNode,
+    ScanNode,
+    join_order_signature,
+    plan_methods,
+)
+
+EDGE = JoinEdge("a", "id", "b", "a_id")
+
+
+def scan(table):
+    return ScanNode(tables=frozenset((table,)), table=table)
+
+
+def make_plan():
+    inner = JoinNode(
+        tables=frozenset({"a", "b"}),
+        left=scan("a"),
+        right=scan("b"),
+        edge=EDGE,
+        method=JOIN_HASH,
+    )
+    return JoinNode(
+        tables=frozenset({"a", "b", "c"}),
+        left=inner,
+        right=scan("c"),
+        edge=JoinEdge("b", "id", "c", "b_id"),
+        method=JOIN_MERGE,
+    )
+
+
+class TestWalk:
+    def test_preorder(self):
+        plan = make_plan()
+        kinds = [type(node).__name__ for node in plan.walk()]
+        assert kinds == ["JoinNode", "JoinNode", "ScanNode", "ScanNode", "ScanNode"]
+
+
+class TestSignatures:
+    def test_join_order_signature(self):
+        assert join_order_signature(make_plan()) == ((("a",), ("b",)), ("c",))
+
+    def test_signature_distinguishes_orders(self):
+        flipped = JoinNode(
+            tables=frozenset({"a", "b"}),
+            left=scan("b"),
+            right=scan("a"),
+            edge=EDGE.reversed(),
+            method=JOIN_HASH,
+        )
+        assert join_order_signature(flipped) != join_order_signature(
+            make_plan().left
+        )
+
+    def test_plan_methods(self):
+        assert plan_methods(make_plan()) == [
+            JOIN_MERGE,
+            JOIN_HASH,
+            SCAN_SEQ,
+            SCAN_SEQ,
+            SCAN_SEQ,
+        ]
+
+
+class TestDescribe:
+    def test_describe_renders_tree(self):
+        plan = make_plan()
+        cards = {
+            frozenset({"a"}): 10.0,
+            frozenset({"b"}): 20.0,
+            frozenset({"c"}): 5.0,
+            frozenset({"a", "b"}): 30.0,
+            frozenset({"a", "b", "c"}): 60.0,
+        }
+        text = plan.describe(cards)
+        assert "Merge Join" in text
+        assert "Hash Join" in text
+        assert "rows=60" in text
+        assert text.count("Seq Scan") == 3

@@ -1,0 +1,127 @@
+"""Tests (including property-based) for canonical-form predicates."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.catalog import ColumnMeta, TableSchema
+from repro.engine.predicates import Predicate, conjunction_mask
+from repro.engine.table import Column, Table
+
+SCHEMA = TableSchema("t", (ColumnMeta("v"),))
+
+
+def make_table(values, nulls=None):
+    return Table(
+        schema=SCHEMA,
+        columns={
+            "v": Column.from_values(
+                np.asarray(values, dtype=np.int64),
+                None if nulls is None else np.asarray(nulls, dtype=bool),
+            )
+        },
+    )
+
+
+class TestValidation:
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Predicate("t", "v", "!=", 3)
+
+    def test_empty_between(self):
+        with pytest.raises(ValueError):
+            Predicate("t", "v", "between", (5, 4))
+
+    def test_in_requires_tuple(self):
+        with pytest.raises(ValueError):
+            Predicate("t", "v", "in", [1, 2])
+
+
+class TestMasks:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("=", 3, [False, False, False, True, False]),
+            ("<", 2, [True, True, False, False, False]),
+            ("<=", 2, [True, True, True, False, False]),
+            (">", 2, [False, False, False, True, True]),
+            (">=", 2, [False, False, True, True, True]),
+            ("between", (1, 3), [False, True, True, True, False]),
+            ("in", (0, 4), [True, False, False, False, True]),
+        ],
+    )
+    def test_operators(self, op, value, expected):
+        table = make_table([0, 1, 2, 3, 4])
+        assert list(Predicate("t", "v", op, value).mask(table)) == expected
+
+    def test_nulls_never_match(self):
+        table = make_table([1, 1, 1], nulls=[False, True, False])
+        mask = Predicate("t", "v", "=", 1).mask(table)
+        assert list(mask) == [True, False, True]
+
+    def test_conjunction(self):
+        table = make_table([0, 1, 2, 3, 4])
+        mask = conjunction_mask(
+            table,
+            [Predicate("t", "v", ">=", 1), Predicate("t", "v", "<=", 3)],
+        )
+        assert list(mask) == [False, True, True, True, False]
+
+    def test_empty_conjunction_matches_all(self):
+        table = make_table([1, 2])
+        assert conjunction_mask(table, []).all()
+
+
+class TestCanonicalRegion:
+    def test_interval_of_equality(self):
+        assert Predicate("t", "v", "=", 7).interval() == (7.0, 7.0)
+
+    def test_interval_of_between(self):
+        assert Predicate("t", "v", "between", (1, 9)).interval() == (1.0, 9.0)
+
+    def test_interval_of_in_is_hull(self):
+        assert Predicate("t", "v", "in", (5, 1, 3)).interval() == (1.0, 5.0)
+
+    def test_open_intervals(self):
+        low, high = Predicate("t", "v", "<", 4).interval()
+        assert low == -math.inf and high < 4
+        low, high = Predicate("t", "v", ">", 4).interval()
+        assert low > 4 and high == math.inf
+
+    def test_value_set(self):
+        assert Predicate("t", "v", "=", 2).value_set() == (2.0,)
+        assert Predicate("t", "v", "in", (1, 2)).value_set() == (1.0, 2.0)
+        assert Predicate("t", "v", "<", 2).value_set() is None
+
+    def test_to_sql(self):
+        assert "BETWEEN" in Predicate("t", "v", "between", (1, 2)).to_sql()
+        assert "IN" in Predicate("t", "v", "in", (1, 2)).to_sql()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.integers(-50, 50), min_size=1, max_size=60),
+    low=st.integers(-60, 60),
+    width=st.integers(0, 40),
+)
+def test_between_mask_matches_bruteforce(values, low, width):
+    """Property: the vectorised mask equals a per-row Python check."""
+    table = make_table(values)
+    predicate = Predicate("t", "v", "between", (low, low + width))
+    mask = predicate.mask(table)
+    expected = [low <= v <= low + width for v in values]
+    assert list(mask) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.integers(-20, 20), min_size=1, max_size=40))
+def test_interval_consistent_with_mask(values):
+    """Property: rows passing the mask always lie inside interval()."""
+    table = make_table(values)
+    predicate = Predicate("t", "v", ">=", 3)
+    low, high = predicate.interval()
+    passing = np.asarray(values)[predicate.mask(table)]
+    assert all(low <= v <= high for v in passing)

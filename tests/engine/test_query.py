@@ -1,0 +1,107 @@
+"""Tests for the query representation and sub-plan derivation."""
+
+import pytest
+
+from repro.engine.catalog import JoinEdge
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+
+E_AB = JoinEdge("a", "id", "b", "a_id")
+E_BC = JoinEdge("b", "id", "c", "b_id")
+
+
+def three_way():
+    return Query(
+        tables=frozenset({"a", "b", "c"}),
+        join_edges=(E_AB, E_BC),
+        predicates=(Predicate("a", "x", "=", 1), Predicate("c", "y", "<=", 5)),
+        name="q",
+    )
+
+
+class TestValidation:
+    def test_edge_outside_tables_rejected(self):
+        with pytest.raises(ValueError):
+            Query(tables=frozenset({"a"}), join_edges=(E_AB,))
+
+    def test_predicate_outside_tables_rejected(self):
+        with pytest.raises(ValueError):
+            Query(
+                tables=frozenset({"a", "b"}),
+                join_edges=(E_AB,),
+                predicates=(Predicate("c", "y", "=", 1),),
+            )
+
+    def test_disconnected_join_rejected(self):
+        with pytest.raises(ValueError, match="connect"):
+            Query(tables=frozenset({"a", "b", "c"}), join_edges=(E_AB,))
+
+    def test_cyclic_join_rejected(self):
+        extra = JoinEdge("a", "id2", "c", "a_id")
+        with pytest.raises(ValueError, match="cyclic"):
+            Query(
+                tables=frozenset({"a", "b", "c"}),
+                join_edges=(E_AB, E_BC, extra),
+            )
+
+
+class TestAccessors:
+    def test_counts(self):
+        query = three_way()
+        assert query.num_tables == 3
+        assert query.num_predicates == 2
+
+    def test_predicates_on(self):
+        query = three_way()
+        assert len(query.predicates_on("a")) == 1
+        assert query.predicates_on("b") == ()
+
+    def test_edges_within(self):
+        query = three_way()
+        assert query.edges_within(frozenset({"a", "b"})) == (E_AB,)
+        assert query.edges_within(frozenset({"a", "c"})) == ()
+
+
+class TestSubquery:
+    def test_subquery_keeps_inner_parts(self):
+        sub = three_way().subquery(frozenset({"a", "b"}))
+        assert sub.tables == frozenset({"a", "b"})
+        assert sub.join_edges == (E_AB,)
+        assert len(sub.predicates) == 1
+        assert sub.predicates[0].table == "a"
+
+    def test_subquery_single_table(self):
+        sub = three_way().subquery(frozenset({"c"}))
+        assert sub.join_edges == ()
+        assert sub.predicates[0].column == "y"
+
+    def test_subquery_rejects_non_subset(self):
+        with pytest.raises(ValueError):
+            three_way().subquery(frozenset({"a", "z"}))
+
+
+class TestIdentity:
+    def test_key_ignores_name(self):
+        q1 = three_way()
+        q2 = Query(
+            tables=q1.tables,
+            join_edges=q1.join_edges,
+            predicates=q1.predicates,
+            name="different",
+        )
+        assert q1.key() == q2.key()
+
+    def test_key_distinguishes_predicates(self):
+        q1 = three_way()
+        q2 = Query(
+            tables=q1.tables,
+            join_edges=q1.join_edges,
+            predicates=(Predicate("a", "x", "=", 2),),
+        )
+        assert q1.key() != q2.key()
+
+    def test_to_sql_mentions_everything(self):
+        sql = three_way().to_sql()
+        assert "SELECT COUNT(*)" in sql
+        assert "a.id = b.a_id" in sql
+        assert "c.y <= 5" in sql

@@ -1,0 +1,106 @@
+"""Tests for ANALYZE-style column statistics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.catalog import ColumnMeta, TableSchema
+from repro.engine.stats import ColumnStats, TableStats
+from repro.engine.table import Column, Table
+
+SCHEMA = TableSchema("t", (ColumnMeta("v"),))
+
+
+def make_table(values, nulls=None):
+    return Table(
+        schema=SCHEMA,
+        columns={
+            "v": Column.from_values(
+                np.asarray(values, dtype=np.int64),
+                None if nulls is None else np.asarray(nulls, dtype=bool),
+            )
+        },
+    )
+
+
+class TestBuild:
+    def test_empty_table(self):
+        stats = ColumnStats.build(make_table([]), "v")
+        assert stats.n_distinct == 0
+        assert stats.eq_selectivity(1.0) == 0.0
+        assert stats.range_selectivity(0, 10) == 0.0
+
+    def test_all_null(self):
+        stats = ColumnStats.build(make_table([1, 2], nulls=[True, True]), "v")
+        assert stats.null_frac == 1.0
+        assert stats.n_distinct == 0
+
+    def test_null_frac(self):
+        stats = ColumnStats.build(make_table([1, 2, 3, 4], nulls=[True, False, False, False]), "v")
+        assert stats.null_frac == 0.25
+
+    def test_mcvs_capture_heavy_values(self):
+        values = [7] * 80 + list(range(20))  # 7 occurs 81 times in 100
+        stats = ColumnStats.build(make_table(values), "v")
+        assert 7.0 in stats.mcv_values
+        heavy = stats.mcv_freqs[list(stats.mcv_values).index(7.0)]
+        assert abs(heavy - 0.81) < 1e-9
+
+    def test_min_max(self):
+        stats = ColumnStats.build(make_table([5, -3, 9]), "v")
+        assert stats.min_value == -3 and stats.max_value == 9
+
+
+class TestSelectivity:
+    def test_eq_on_mcv(self):
+        values = [1] * 50 + [2] * 30 + list(range(10, 30))
+        stats = ColumnStats.build(make_table(values), "v")
+        assert abs(stats.eq_selectivity(1) - 0.5) < 1e-9
+
+    def test_eq_outside_domain(self):
+        stats = ColumnStats.build(make_table(list(range(100))), "v")
+        assert stats.eq_selectivity(-10) == 0.0
+        assert stats.eq_selectivity(1_000) == 0.0
+
+    def test_full_range_close_to_non_null_fraction(self):
+        values = list(range(200))
+        stats = ColumnStats.build(make_table(values), "v")
+        assert abs(stats.range_selectivity(-1, 1_000) - 1.0) < 0.05
+
+    def test_half_range(self):
+        values = list(range(1000))
+        stats = ColumnStats.build(make_table(values), "v")
+        sel = stats.range_selectivity(0, 499)
+        assert 0.4 < sel < 0.6
+
+    def test_empty_range(self):
+        stats = ColumnStats.build(make_table(list(range(100))), "v")
+        assert stats.range_selectivity(60, 40) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 500), min_size=20, max_size=300),
+    low=st.integers(0, 500),
+    width=st.integers(0, 300),
+)
+def test_range_selectivity_tracks_truth(values, low, width):
+    """Property: histogram selectivity is within an additive error of
+    the true fraction (1-D histograms are coarse, not broken)."""
+    stats = ColumnStats.build(make_table(values), "v")
+    high = low + width
+    true_fraction = sum(low <= v <= high for v in values) / len(values)
+    estimated = stats.range_selectivity(low, high)
+    assert abs(estimated - true_fraction) <= 0.25
+
+
+class TestTableStats:
+    def test_builds_all_columns(self):
+        schema = TableSchema("t2", (ColumnMeta("a"), ColumnMeta("b")))
+        table = Table.from_arrays(
+            schema, {"a": np.arange(50), "b": np.arange(50) % 3}
+        )
+        stats = TableStats.build(table)
+        assert set(stats.columns) == {"a", "b"}
+        assert stats.num_rows == 50
+        assert stats.nbytes() > 0

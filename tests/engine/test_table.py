@@ -1,0 +1,84 @@
+"""Tests for column-store tables."""
+
+import numpy as np
+import pytest
+
+from repro.engine.catalog import ColumnMeta, TableSchema
+from repro.engine.table import Column, Table
+
+SCHEMA = TableSchema("t", (ColumnMeta("a"), ColumnMeta("b")))
+
+
+def make_table(n=10):
+    return Table.from_arrays(
+        SCHEMA, {"a": np.arange(n), "b": np.arange(n) * 2}
+    )
+
+
+class TestColumn:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Column(values=np.arange(3), null_mask=np.zeros(4, dtype=bool))
+
+    def test_null_mask_must_be_boolean(self):
+        with pytest.raises(ValueError):
+            Column(values=np.arange(3), null_mask=np.zeros(3, dtype=int))
+
+    def test_non_null_values(self):
+        column = Column.from_values(np.array([1, 2, 3]), np.array([False, True, False]))
+        assert list(column.non_null_values()) == [1, 3]
+
+    def test_take_preserves_nulls(self):
+        column = Column.from_values(np.array([1, 2, 3]), np.array([False, True, False]))
+        taken = column.take(np.array([1, 2]))
+        assert list(taken.null_mask) == [True, False]
+
+
+class TestTable:
+    def test_missing_column_rejected(self):
+        with pytest.raises(KeyError):
+            Table.from_arrays(SCHEMA, {"a": np.arange(3)})
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Table(
+                schema=SCHEMA,
+                columns={
+                    "a": Column.from_values(np.arange(3)),
+                    "b": Column.from_values(np.arange(4)),
+                },
+            )
+
+    def test_num_rows_and_len(self):
+        table = make_table(7)
+        assert table.num_rows == 7
+        assert len(table) == 7
+
+    def test_take(self):
+        table = make_table()
+        subset = table.take(np.array([0, 5]))
+        assert list(subset.column("b").values) == [0, 10]
+
+    def test_head(self):
+        assert make_table(10).head(3).num_rows == 3
+        assert make_table(2).head(5).num_rows == 2
+
+    def test_append(self):
+        combined = make_table(3).append(make_table(2))
+        assert combined.num_rows == 5
+        assert list(combined.column("a").values) == [0, 1, 2, 0, 1]
+
+    def test_append_different_table_rejected(self):
+        other_schema = TableSchema("u", (ColumnMeta("a"), ColumnMeta("b")))
+        other = Table.from_arrays(other_schema, {"a": np.arange(2), "b": np.arange(2)})
+        with pytest.raises(ValueError):
+            make_table().append(other)
+
+    def test_values_cast_to_schema_dtype(self):
+        table = Table.from_arrays(
+            SCHEMA, {"a": np.array([1.0, 2.0]), "b": np.array([3, 4])}
+        )
+        assert table.column("a").values.dtype == np.int64
+
+    def test_nbytes_positive(self):
+        assert make_table().nbytes() > 0

@@ -1,0 +1,37 @@
+"""Estimator-level fixtures: fitted estimators and training examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.training import build_training_workload, flatten_to_examples
+from tests.conftest import TEST_CACHE
+
+
+@pytest.fixture(scope="package")
+def training_examples(stats_db):
+    workload = build_training_workload(
+        stats_db,
+        num_queries=60,
+        seed=77,
+        max_cardinality=400_000,
+        cache_dir=TEST_CACHE,
+    )
+    return flatten_to_examples(workload)
+
+
+@pytest.fixture(scope="package")
+def eval_pairs(stats_workload):
+    """(sub-plan query, true cardinality) pairs from the eval workload."""
+    pairs = []
+    for labeled in stats_workload:
+        for subset, count in labeled.sub_plan_true_cards.items():
+            pairs.append((labeled.query.subquery(subset), count))
+    return pairs
+
+
+def median_q_error(estimator, pairs):
+    from repro.core.metrics import q_error
+
+    errors = sorted(q_error(estimator.estimate(q), c) for q, c in pairs)
+    return errors[len(errors) // 2]

@@ -1,0 +1,131 @@
+"""Cross-estimator contract tests.
+
+Every CardEst method must: fit from a database, return non-negative
+estimates for arbitrary benchmark queries, be reasonably accurate on
+single-table queries, and report its practicality metadata.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import q_error
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+from repro.estimators.base import QueryDrivenEstimator
+from repro.estimators.datad import (
+    BayesCardEstimator,
+    DeepDBEstimator,
+    FlatEstimator,
+    NeuroCardEstimator,
+)
+from repro.estimators.multihist import MultiHistEstimator
+from repro.estimators.pessest import PessimisticEstimator
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.queryd import (
+    LWNNEstimator,
+    LWXGBEstimator,
+    MSCNEstimator,
+    UAEQEstimator,
+)
+from repro.estimators.unisample import UniSampleEstimator
+from repro.estimators.wjsample import WanderJoinEstimator
+
+FAST_FACTORIES = [
+    PostgresEstimator,
+    MultiHistEstimator,
+    UniSampleEstimator,
+    WanderJoinEstimator,
+    PessimisticEstimator,
+    BayesCardEstimator,
+    DeepDBEstimator,
+    FlatEstimator,
+]
+
+QUERY_DRIVEN_FACTORIES = [
+    lambda: MSCNEstimator(epochs=8),
+    lambda: LWNNEstimator(epochs=15),
+    lambda: LWXGBEstimator(num_trees=40),
+    lambda: UAEQEstimator(epochs=15, inference_samples=8),
+]
+
+
+@pytest.fixture(scope="module")
+def fitted(stats_db, training_examples):
+    """All estimators fitted once per module."""
+    estimators = []
+    for factory in FAST_FACTORIES:
+        estimators.append(factory().fit(stats_db))
+    estimators.append(
+        NeuroCardEstimator(num_samples=1_500, epochs=3, max_trees=3).fit(stats_db)
+    )
+    for factory in QUERY_DRIVEN_FACTORIES:
+        estimator = factory().fit(stats_db)
+        estimator.fit_queries(training_examples)
+        estimators.append(estimator)
+    return estimators
+
+
+def _ids(fitted):
+    return [e.name for e in fitted]
+
+
+class TestContract:
+    def test_all_names_unique(self, fitted):
+        names = [e.name for e in fitted]
+        assert len(names) == len(set(names))
+
+    def test_estimates_non_negative(self, fitted, stats_workload):
+        for estimator in fitted:
+            for labeled in stats_workload.queries[:5]:
+                assert estimator.estimate(labeled.query) >= 0.0
+
+    def test_single_table_unfiltered_close_to_row_count(self, fitted, stats_db):
+        query = Query(tables=frozenset({"posts"}), name="all-posts")
+        truth = stats_db.tables["posts"].num_rows
+        for estimator in fitted:
+            if isinstance(estimator, QueryDrivenEstimator):
+                continue  # learned purely from (different) queries
+            if estimator.name == "NeuroCard":
+                continue  # full-join sampling is inaccurate on STATS (O3)
+            estimate = estimator.estimate(query)
+            assert q_error(estimate, truth) < 2.0, estimator.name
+
+    def test_single_table_filtered_reasonable(self, fitted, stats_db):
+        predicate = Predicate("users", "Reputation", "<=", 2)
+        query = Query(
+            tables=frozenset({"users"}), predicates=(predicate,), name="low-rep"
+        )
+        truth = int(predicate.mask(stats_db.tables["users"]).sum())
+        for estimator in fitted:
+            if isinstance(estimator, QueryDrivenEstimator):
+                continue
+            if estimator.name == "NeuroCard":
+                continue  # see O3; dedicated bounds in test_neurocard.py
+            assert q_error(estimator.estimate(query), truth) < 5.0, estimator.name
+
+    def test_training_time_recorded(self, fitted):
+        for estimator in fitted:
+            assert estimator.training_seconds >= 0.0
+
+    def test_model_size_reported(self, fitted):
+        for estimator in fitted:
+            assert estimator.model_size_bytes() >= 0
+
+    def test_join_estimates_finite(self, fitted, stats_workload):
+        heavy = max(stats_workload.queries, key=lambda q: q.query.num_tables)
+        for estimator in fitted:
+            value = estimator.estimate(heavy.query)
+            assert np.isfinite(value), estimator.name
+
+
+class TestUpdateContract:
+    def test_update_support_flags(self, stats_db):
+        assert PostgresEstimator().supports_update
+        assert BayesCardEstimator().supports_update
+        assert not MSCNEstimator().supports_update
+
+    def test_unsupported_update_raises(self, stats_db, training_examples):
+        estimator = MSCNEstimator(epochs=1).fit(stats_db)
+        estimator.fit_queries(training_examples[:50])
+        with pytest.raises(NotImplementedError):
+            estimator.update({})

@@ -1,0 +1,139 @@
+"""Tests for the shared discretization layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.predicates import Predicate
+from repro.engine.table import Column
+from repro.estimators.datad.discretize import (
+    AttributeBinner,
+    FanoutBinner,
+    KeyClassBinner,
+    SchemaDiscretizer,
+    key_classes,
+)
+
+
+def column(values, nulls=None):
+    return Column.from_values(
+        np.asarray(values, dtype=np.int64),
+        None if nulls is None else np.asarray(nulls, dtype=bool),
+    )
+
+
+class TestAttributeBinner:
+    def test_small_domain_exact(self):
+        binner = AttributeBinner.build(column([1, 2, 2, 5, 5, 5]), max_bins=10)
+        assert binner.exact_values is not None
+        encoded = binner.encode(column([1, 2, 5]))
+        assert len(set(encoded)) == 3
+
+    def test_null_bin_zero(self):
+        binner = AttributeBinner.build(column([1, 2, 3]))
+        encoded = binner.encode(column([1, 2, 3], nulls=[False, True, False]))
+        assert encoded[1] == 0
+        assert (encoded[[0, 2]] > 0).all()
+
+    def test_equality_coverage_exact_domain(self):
+        binner = AttributeBinner.build(column([1, 2, 3, 4]), max_bins=10)
+        coverage = binner.coverage(Predicate("t", "c", "=", 3))
+        assert coverage[0] == 0.0  # NULL bin
+        assert coverage.sum() == pytest.approx(1.0)
+
+    def test_range_coverage_fractional(self):
+        values = list(range(1000))
+        binner = AttributeBinner.build(column(values), max_bins=10)
+        coverage = binner.coverage(Predicate("t", "c", "between", (0, 499)))
+        # Roughly half the (non-NULL) mass.
+        assert 0.35 <= coverage[1:].mean() <= 0.65
+
+    def test_in_coverage_additive(self):
+        binner = AttributeBinner.build(column([1, 2, 3, 4]), max_bins=10)
+        coverage = binner.coverage(Predicate("t", "c", "in", (1, 4)))
+        assert coverage.sum() == pytest.approx(2.0)
+
+    def test_empty_column(self):
+        binner = AttributeBinner.build(column([]))
+        assert binner.num_bins >= 1
+
+
+class TestKeyClassBinner:
+    def test_encoding_shared_across_tables(self):
+        binner = KeyClassBinner(low=0.0, high=100.0, num_buckets=10)
+        a = binner.encode(column([5, 95]))
+        b = binner.encode(column([5, 95]))
+        assert np.array_equal(a, b)
+        assert a[0] != a[1]
+
+    def test_null_bin(self):
+        binner = KeyClassBinner(low=0.0, high=10.0, num_buckets=5)
+        encoded = binner.encode(column([3, 3], nulls=[True, False]))
+        assert encoded[0] == 0 and encoded[1] > 0
+
+    def test_non_null_coverage(self):
+        binner = KeyClassBinner(low=0.0, high=10.0, num_buckets=5)
+        coverage = binner.non_null_coverage()
+        assert coverage[0] == 0.0
+        assert (coverage[1:] == 1.0).all()
+
+
+class TestFanoutBinner:
+    def test_zero_and_heavy_degrees(self):
+        degrees = np.array([0.0] * 50 + [1.0] * 30 + [2.0] * 10 + [500.0] * 2)
+        binner = FanoutBinner.build(degrees)
+        encoded = binner.encode(degrees)
+        assert encoded.min() >= 1
+        assert encoded[0] != encoded[-1]
+
+    def test_representatives_track_means(self):
+        degrees = np.array([0.0, 0.0, 1.0, 1.0, 1.0, 7.0])
+        binner = FanoutBinner.build(degrees)
+        reps = binner.representatives()
+        encoded = binner.encode(np.array([0.0]))
+        assert reps[encoded[0]] == pytest.approx(0.0)
+        encoded_one = binner.encode(np.array([1.0]))
+        assert reps[encoded_one[0]] == pytest.approx(1.0)
+
+
+class TestKeyClasses:
+    def test_stats_has_two_classes(self, stats_db):
+        classes = key_classes(stats_db.join_graph)
+        # user-id class and post-id class.
+        assert len(set(classes.values())) == 2
+        assert classes[("users", "Id")] == classes[("badges", "UserId")]
+        assert classes[("posts", "Id")] == classes[("comments", "PostId")]
+        assert classes[("users", "Id")] != classes[("posts", "Id")]
+
+
+class TestSchemaDiscretizer:
+    def test_builds_all_binners(self, stats_db):
+        disc = SchemaDiscretizer.build(stats_db)
+        assert ("posts", "Score") in disc.attribute_binners
+        assert len(disc.key_binners) == 2
+        assert disc.nbytes() > 0
+
+    def test_coverage_routing(self, stats_db):
+        disc = SchemaDiscretizer.build(stats_db)
+        coverage = disc.coverage(Predicate("posts", "Score", ">=", 0))
+        assert coverage[0] == 0.0
+        assert coverage.max() > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 400), min_size=30, max_size=200),
+    low=st.integers(0, 400),
+    width=st.integers(0, 200),
+)
+def test_coverage_approximates_true_fraction(values, low, width):
+    """Property: Σ_b coverage(b)·P(b) tracks the true selectivity."""
+    col = column(values)
+    binner = AttributeBinner.build(col, max_bins=16)
+    encoded = binner.encode(col)
+    histogram = np.bincount(encoded, minlength=binner.num_bins) / len(values)
+    predicate = Predicate("t", "c", "between", (low, low + width))
+    estimated = float((binner.coverage(predicate) * histogram).sum())
+    truth = sum(low <= v <= low + width for v in values) / len(values)
+    assert abs(estimated - truth) <= 0.3

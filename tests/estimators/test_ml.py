@@ -1,0 +1,189 @@
+"""Tests for the numpy ML substrate (nn, gbdt, made, rdc, clustering)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.ml.clustering import kmeans
+from repro.estimators.ml.gbdt import GradientBoostedTrees
+from repro.estimators.ml.made import MadeModel
+from repro.estimators.ml.nn import MLP, AdamOptimizer, train_regressor
+from repro.estimators.ml.rdc import rdc
+
+
+class TestMLP:
+    def test_learns_linear_function(self, rng):
+        x = rng.normal(size=(800, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 0.3
+        model = MLP(rng, [3, 32, 1])
+        loss = train_regressor(model, x, y, rng, epochs=80)
+        assert loss < 0.05
+
+    def test_forward_shape(self, rng):
+        model = MLP(rng, [4, 8, 2])
+        assert model.forward(np.zeros((5, 4))).shape == (5, 2)
+
+    def test_too_few_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MLP(rng, [4])
+
+    def test_gradient_check(self, rng):
+        """Finite-difference check on a tiny network."""
+        model = MLP(rng, [2, 3, 1])
+        x = rng.normal(size=(4, 2))
+        y = rng.normal(size=(4, 1))
+
+        def loss():
+            return float(((model.forward(x) - y) ** 2).mean())
+
+        base = model.forward(x)
+        model.backward(2.0 * (base - y) / len(x))
+        analytic = model.layers[0].grad_weight[0, 0]
+
+        eps = 1e-6
+        model.layers[0].weight[0, 0] += eps
+        plus = loss()
+        model.layers[0].weight[0, 0] -= 2 * eps
+        minus = loss()
+        model.layers[0].weight[0, 0] += eps
+        numeric = (plus - minus) / (2 * eps)
+        assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_adam_moves_parameters(self, rng):
+        model = MLP(rng, [2, 4, 1])
+        before = model.layers[0].weight.copy()
+        optimizer = AdamOptimizer(model.parameters, lr=0.1)
+        model.forward(np.ones((3, 2)))
+        model.backward(np.ones((3, 1)))
+        optimizer.step(model.gradients)
+        assert not np.allclose(before, model.layers[0].weight)
+
+
+class TestGBDT:
+    def test_learns_step_function(self, rng):
+        x = rng.uniform(0, 1, size=(1_500, 2))
+        y = np.where(x[:, 0] > 0.5, 3.0, -1.0)
+        model = GradientBoostedTrees(num_trees=30).fit(x, y)
+        prediction = model.predict(x)
+        assert ((prediction > 1.0) == (y > 1.0)).mean() > 0.97
+
+    def test_learns_interaction(self, rng):
+        x = rng.uniform(0, 1, size=(2_000, 2))
+        y = (x[:, 0] > 0.5).astype(float) * (x[:, 1] > 0.5).astype(float)
+        model = GradientBoostedTrees(num_trees=60).fit(x, y)
+        rmse = float(np.sqrt(((model.predict(x) - y) ** 2).mean()))
+        assert rmse < 0.2
+
+    def test_constant_target(self, rng):
+        x = rng.uniform(size=(100, 2))
+        model = GradientBoostedTrees(num_trees=5).fit(x, np.full(100, 7.0))
+        assert np.allclose(model.predict(x), 7.0, atol=1e-6)
+
+    def test_nbytes_grows_with_trees(self, rng):
+        x = rng.uniform(size=(500, 2))
+        y = x[:, 0]
+        small = GradientBoostedTrees(num_trees=5).fit(x, y)
+        large = GradientBoostedTrees(num_trees=50).fit(x, y)
+        assert large.nbytes() > small.nbytes()
+
+
+class TestMade:
+    def test_learns_joint_distribution(self):
+        rng = np.random.default_rng(0)
+        n = 15_000
+        a = rng.integers(0, 6, n)
+        b = (a + rng.integers(0, 2, n)) % 6
+        model = MadeModel([6, 6], hidden_sizes=(32, 32), seed=1)
+        model.fit(np.column_stack([a, b]), epochs=8)
+        cov_a = np.zeros(6)
+        cov_a[0] = 1.0
+        estimated = model.prob([cov_a, None], num_samples=256)
+        assert estimated == pytest.approx((a == 0).mean(), abs=0.03)
+
+    def test_conditional_dependence_captured(self):
+        rng = np.random.default_rng(0)
+        n = 15_000
+        a = rng.integers(0, 4, n)
+        b = a  # deterministic copy
+        model = MadeModel([4, 4], hidden_sizes=(32, 32), seed=1)
+        model.fit(np.column_stack([a, b]), epochs=10)
+        cov_a = np.zeros(4)
+        cov_a[2] = 1.0
+        cov_b_wrong = np.zeros(4)
+        cov_b_wrong[0] = 1.0
+        joint_wrong = model.prob([cov_a, cov_b_wrong], num_samples=256)
+        cov_b_right = np.zeros(4)
+        cov_b_right[2] = 1.0
+        joint_right = model.prob([cov_a, cov_b_right], num_samples=256)
+        assert joint_right > 10 * max(joint_wrong, 1e-9)
+
+    def test_weight_columns_scale_estimate(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 3, size=(5_000, 1))
+        model = MadeModel([3], hidden_sizes=(16,), seed=1)
+        model.fit(data, epochs=5)
+        halves = np.full(3, 0.5)
+        weighted = model.prob([None], num_samples=128, weight_columns=[(0, halves)])
+        assert weighted == pytest.approx(0.5, abs=0.05)
+
+    def test_unconstrained_prob_is_one(self):
+        model = MadeModel([3, 3], seed=1)
+        assert model.prob([None, None]) == 1.0
+
+    def test_empty_region_is_zero(self):
+        rng = np.random.default_rng(0)
+        data = np.column_stack([rng.integers(1, 3, 2_000)])
+        model = MadeModel([4], hidden_sizes=(16,), seed=1)
+        model.fit(data, epochs=5)
+        nothing = np.zeros(4)
+        assert model.prob([nothing], num_samples=64) == 0.0
+
+
+class TestRdc:
+    def test_detects_nonlinear_dependence(self, rng):
+        x = rng.normal(size=2_000)
+        y = np.cos(x) + 0.05 * rng.normal(size=2_000)
+        independent = rng.normal(size=2_000)
+        assert rdc(x, y) > 0.5
+        assert rdc(x, independent) < 0.3
+
+    def test_constant_input(self, rng):
+        assert rdc(np.zeros(100), rng.normal(size=100)) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rdc(np.zeros(5), np.zeros(6))
+
+    def test_range(self, rng):
+        value = rdc(rng.normal(size=500), rng.normal(size=500))
+        assert 0.0 <= value <= 1.0
+
+
+class TestKMeans:
+    def test_separates_two_blobs(self, rng):
+        blob_a = rng.normal(0, 0.2, size=(200, 2))
+        blob_b = rng.normal(5, 0.2, size=(200, 2))
+        data = np.vstack([blob_a, blob_b])
+        labels = kmeans(data, 2, rng)
+        assert len(np.unique(labels)) == 2
+        assert len(np.unique(labels[:200])) == 1
+        assert labels[0] != labels[200]
+
+    def test_never_collapses_to_one_cluster(self, rng):
+        data = rng.integers(0, 8, size=(500, 2)).astype(float)
+        labels = kmeans(data, 2, rng)
+        assert len(np.unique(labels)) == 2
+
+    def test_degenerate_sizes(self, rng):
+        assert len(kmeans(np.empty((0, 2)), 2, rng)) == 0
+        assert list(kmeans(np.ones((3, 2)), 1, rng)) == [0, 0, 0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 5), st.integers(10, 60))
+def test_kmeans_labels_within_k(k, n):
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(n, 3))
+    labels = kmeans(data, k, rng)
+    assert labels.min() >= 0 and labels.max() < k

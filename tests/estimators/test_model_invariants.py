@@ -1,0 +1,82 @@
+"""Property-based invariants of the table density models.
+
+For any discrete dataset and any coverage region, every model must
+satisfy: probabilities in [0, 1]; full coverage ≈ 1; additivity of
+``prob_by_bin`` (the per-bin vector sums to the region probability);
+and monotonicity (shrinking a coverage never increases the mass).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.datad.bayescard import ChowLiuTreeModel
+from repro.estimators.datad.deepdb import SumProductNetwork
+from repro.estimators.datad.flat import FactorizedSPN
+
+MODEL_FACTORIES = {
+    "bayescard": lambda binned, bins: ChowLiuTreeModel(binned, bins),
+    "deepdb": lambda binned, bins: SumProductNetwork(binned, bins, seed=5),
+    "flat": lambda binned, bins: FactorizedSPN(binned, bins, seed=5),
+}
+
+
+@st.composite
+def discrete_dataset(draw):
+    n = draw(st.integers(200, 800))
+    bins = {
+        "a": draw(st.integers(2, 6)),
+        "b": draw(st.integers(2, 6)),
+        "c": draw(st.integers(2, 6)),
+    }
+    rng = np.random.default_rng(draw(st.integers(0, 100)))
+    mode = draw(st.sampled_from(["independent", "coupled"]))
+    a = rng.integers(0, bins["a"], n)
+    if mode == "coupled":
+        b = (a + rng.integers(0, 2, n)) % bins["b"]
+    else:
+        b = rng.integers(0, bins["b"], n)
+    c = rng.integers(0, bins["c"], n)
+    return {"a": a, "b": b, "c": c}, bins
+
+
+@pytest.mark.parametrize("kind", sorted(MODEL_FACTORIES))
+@settings(max_examples=12, deadline=None)
+@given(data=discrete_dataset(), seed=st.integers(0, 50))
+def test_model_invariants(kind, data, seed):
+    binned, bins = data
+    model = MODEL_FACTORIES[kind](binned, bins)
+    rng = np.random.default_rng(seed)
+
+    coverage = {}
+    for column, size in bins.items():
+        if rng.random() < 0.7:
+            vector = (rng.random(size) < 0.6).astype(float)
+            coverage[column] = vector
+
+    # Bounds.
+    mass = model.prob(coverage)
+    assert -1e-9 <= mass <= 1 + 1e-9
+
+    # Full coverage is (approximately, smoothing aside) total mass.
+    full = model.prob({c: np.ones(b) for c, b in bins.items()})
+    assert full == pytest.approx(1.0, abs=0.02)
+
+    # Additivity: prob_by_bin sums back to prob for any target column.
+    target = rng.choice(sorted(bins))
+    partial = {c: v for c, v in coverage.items() if c != target}
+    vector = model.prob_by_bin(partial, target)
+    assert len(vector) == bins[target]
+    assert float(vector.sum()) == pytest.approx(model.prob(partial), rel=1e-6, abs=1e-9)
+
+    # Monotonicity: shrinking one coverage never increases the mass.
+    if coverage:
+        column = sorted(coverage)[0]
+        shrunk = dict(coverage)
+        smaller = coverage[column].copy()
+        on_bins = np.nonzero(smaller)[0]
+        if len(on_bins):
+            smaller[on_bins[0]] = 0.0
+            shrunk[column] = smaller
+            assert model.prob(shrunk) <= mass + 1e-9

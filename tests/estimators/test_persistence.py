@@ -1,0 +1,84 @@
+"""Tests for estimator save/load."""
+
+import pytest
+
+from repro.estimators.datad import BayesCardEstimator, DeepDBEstimator
+from repro.estimators.persistence import (
+    PersistenceError,
+    load_estimator,
+    save_estimator,
+)
+from repro.estimators.pessest import PessimisticEstimator
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.queryd import LWXGBEstimator
+
+
+@pytest.fixture(scope="module")
+def sample_queries(stats_workload):
+    return [labeled.query for labeled in stats_workload.queries[:6]]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [PostgresEstimator, BayesCardEstimator, DeepDBEstimator],
+        ids=["postgres", "bayescard", "deepdb"],
+    )
+    def test_estimates_identical_after_reload(
+        self, factory, stats_db, sample_queries, tmp_path
+    ):
+        estimator = factory().fit(stats_db)
+        before = [estimator.estimate(q) for q in sample_queries]
+        path = tmp_path / "model.bin"
+        size = save_estimator(estimator, path)
+        assert size > 0
+        loaded = load_estimator(path, stats_db)
+        after = [loaded.estimate(q) for q in sample_queries]
+        assert after == pytest.approx(before)
+
+    def test_query_driven_round_trip(
+        self, stats_db, training_examples, sample_queries, tmp_path
+    ):
+        estimator = LWXGBEstimator(num_trees=20).fit(stats_db)
+        estimator.fit_queries(training_examples[:300])
+        before = [estimator.estimate(q) for q in sample_queries]
+        path = tmp_path / "lwxgb.bin"
+        save_estimator(estimator, path)
+        loaded = load_estimator(path, stats_db)
+        assert [loaded.estimate(q) for q in sample_queries] == pytest.approx(before)
+
+    def test_database_backed_estimator_reattaches(
+        self, stats_db, sample_queries, tmp_path
+    ):
+        estimator = PessimisticEstimator().fit(stats_db)
+        before = [estimator.estimate(q) for q in sample_queries]
+        path = tmp_path / "pessest.bin"
+        size = save_estimator(estimator, path)
+        # The data itself must not be in the file.
+        assert size < stats_db.nbytes() / 10
+        loaded = load_estimator(path, stats_db)
+        assert [loaded.estimate(q) for q in sample_queries] == pytest.approx(before)
+
+    def test_original_estimator_still_usable_after_save(
+        self, stats_db, sample_queries, tmp_path
+    ):
+        estimator = PessimisticEstimator().fit(stats_db)
+        save_estimator(estimator, tmp_path / "p.bin")
+        # save() temporarily strips the database; it must be restored.
+        assert estimator.estimate(sample_queries[0]) >= 0
+
+
+class TestErrors:
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(PersistenceError):
+            load_estimator(path)
+
+    def test_wrong_payload_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "wrong.bin"
+        path.write_bytes(pickle.dumps({"format": 999}))
+        with pytest.raises(PersistenceError):
+            load_estimator(path)

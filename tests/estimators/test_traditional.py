@@ -1,0 +1,160 @@
+"""Per-method tests for the traditional estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import q_error
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+from repro.estimators.multihist import MultiHistEstimator, _bin_coverage
+from repro.estimators.pessest import PessimisticEstimator
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.unisample import UniSampleEstimator
+from repro.estimators.wjsample import WanderJoinEstimator
+
+
+@pytest.fixture(scope="module")
+def pg(stats_db):
+    return PostgresEstimator().fit(stats_db)
+
+
+class TestPostgres:
+    def test_independence_multiplies(self, pg, stats_db):
+        p1 = Predicate("posts", "Score", ">=", 10)
+        p2 = Predicate("posts", "PostTypeId", "=", 1)
+        single1 = pg.estimate(Query(frozenset({"posts"}), predicates=(p1,)))
+        single2 = pg.estimate(Query(frozenset({"posts"}), predicates=(p2,)))
+        both = pg.estimate(Query(frozenset({"posts"}), predicates=(p1, p2)))
+        n = stats_db.tables["posts"].num_rows
+        assert both == pytest.approx(single1 * single2 / n, rel=1e-6)
+
+    def test_pk_fk_join_estimate_close(self, pg, stats_db, truecards):
+        graph = stats_db.join_graph
+        edge = graph.edges_between("users", "posts")[0]
+        query = Query(frozenset({"users", "posts"}), join_edges=(edge,))
+        truth = truecards.cardinality(query)
+        assert q_error(pg.estimate(query), truth) < 3.0
+
+    def test_update_refreshes_stats(self, stats_db):
+        from repro.datasets.stats_db import split_by_date
+
+        old, new = split_by_date(stats_db)
+        estimator = PostgresEstimator().fit(old)
+        before = estimator.estimate(Query(frozenset({"posts"})))
+        for name, delta in new.items():
+            if delta.num_rows:
+                old.insert(name, delta)
+        estimator.update(new)
+        after = estimator.estimate(Query(frozenset({"posts"})))
+        assert after > before
+
+    def test_join_selectivity_within_unit(self, pg, stats_db):
+        for edge in stats_db.join_graph.edges:
+            assert 0.0 <= pg.join_selectivity(edge) <= 1.0
+
+
+class TestMultiHist:
+    def test_groups_correlated_columns(self, stats_db):
+        estimator = MultiHistEstimator().fit(stats_db)
+        groups = [h.columns for h in estimator._histograms["posts"]]
+        assert any(len(g) > 1 for g in groups)
+
+    def test_bin_coverage_point(self):
+        edges = np.array([0.0, 10.0, 20.0])
+        coverage = _bin_coverage(edges, 5.0, 5.0)
+        assert coverage[0] == pytest.approx(0.1)
+        assert coverage[1] == 0.0
+
+    def test_bin_coverage_range(self):
+        edges = np.array([0.0, 10.0, 20.0])
+        coverage = _bin_coverage(edges, 5.0, 15.0)
+        assert coverage[0] == pytest.approx(0.5)
+        assert coverage[1] == pytest.approx(0.5)
+
+    def test_correlated_filter_better_than_independence(self, stats_db, truecards):
+        """The whole point of MultiHist: joint histograms beat the
+        independence assumption on correlated predicates."""
+        multihist = MultiHistEstimator().fit(stats_db)
+        pg = PostgresEstimator().fit(stats_db)
+        predicates = (
+            Predicate("posts", "ViewCount", ">=", 100),
+            Predicate("posts", "Score", ">=", 20),
+        )
+        query = Query(frozenset({"posts"}), predicates=predicates)
+        truth = truecards.cardinality(query)
+        assert q_error(multihist.estimate(query), truth) <= q_error(
+            pg.estimate(query), truth
+        ) * 1.5
+
+
+class TestUniSample:
+    def test_sample_bounded(self, stats_db):
+        estimator = UniSampleEstimator(sample_size=500).fit(stats_db)
+        assert all(s.num_rows <= 500 for s in estimator._samples.values())
+
+    def test_rare_predicate_never_zero(self, stats_db):
+        estimator = UniSampleEstimator(sample_size=100).fit(stats_db)
+        predicate = Predicate("users", "Reputation", ">=", 19_000)
+        query = Query(frozenset({"users"}), predicates=(predicate,))
+        assert estimator.estimate(query) > 0.0
+
+    def test_update_absorbs_rows(self, stats_db):
+        from repro.datasets.stats_db import split_by_date
+
+        old, new = split_by_date(stats_db)
+        estimator = UniSampleEstimator(sample_size=1_000).fit(old)
+        before = estimator.estimate(Query(frozenset({"comments"})))
+        estimator.update(new)
+        after = estimator.estimate(Query(frozenset({"comments"})))
+        assert after > before
+
+
+class TestWanderJoin:
+    def test_unbiased_on_two_way_join(self, stats_db, truecards):
+        graph = stats_db.join_graph
+        edge = graph.edges_between("posts", "comments")[0]
+        query = Query(frozenset({"posts", "comments"}), join_edges=(edge,))
+        truth = truecards.cardinality(query)
+        estimator = WanderJoinEstimator(num_walks=800).fit(stats_db)
+        assert q_error(estimator.estimate(query), truth) < 2.0
+
+    def test_zero_when_root_filter_empty(self, stats_db):
+        graph = stats_db.join_graph
+        edge = graph.edges_between("posts", "comments")[0]
+        query = Query(
+            frozenset({"posts", "comments"}),
+            join_edges=(edge,),
+            predicates=(Predicate("posts", "Score", ">=", 10**9),),
+        )
+        estimator = WanderJoinEstimator().fit(stats_db)
+        assert estimator.estimate(query) == 0.0
+
+    def test_model_free(self, stats_db):
+        estimator = WanderJoinEstimator().fit(stats_db)
+        assert estimator.model_size_bytes() == 0
+
+
+class TestPessEst:
+    def test_never_underestimates(self, stats_db, stats_workload):
+        """The defining property of pessimistic estimation."""
+        estimator = PessimisticEstimator().fit(stats_db)
+        for labeled in stats_workload.queries:
+            for subset, truth in labeled.sub_plan_true_cards.items():
+                subquery = labeled.query.subquery(subset)
+                estimate = estimator.estimate(subquery)
+                assert estimate >= truth * 0.999, subquery.to_sql()
+
+    def test_single_table_exact(self, stats_db):
+        estimator = PessimisticEstimator().fit(stats_db)
+        predicate = Predicate("users", "Reputation", "<=", 5)
+        query = Query(frozenset({"users"}), predicates=(predicate,))
+        truth = int(predicate.mask(stats_db.tables["users"]).sum())
+        assert estimator.estimate(query) == truth
+
+    def test_bound_not_absurdly_loose_on_two_way(self, stats_db, truecards):
+        graph = stats_db.join_graph
+        edge = graph.edges_between("users", "posts")[0]
+        query = Query(frozenset({"users", "posts"}), join_edges=(edge,))
+        truth = truecards.cardinality(query)
+        estimator = PessimisticEstimator().fit(stats_db)
+        assert estimator.estimate(query) <= truth * 50

@@ -1,0 +1,35 @@
+"""Tests for the TrueCard oracle estimator."""
+
+import pytest
+
+from repro.engine.query import Query
+from repro.estimators.truecard import TrueCardEstimator
+
+
+class TestOracle:
+    def test_exact_on_preloaded_labels(self, stats_db, stats_workload):
+        estimator = TrueCardEstimator().fit(stats_db)
+        for labeled in stats_workload.queries:
+            estimator.preload_labeled(labeled)
+        for labeled in stats_workload.queries:
+            assert estimator.estimate(labeled.query) == labeled.true_cardinality
+            for subset, count in labeled.sub_plan_true_cards.items():
+                assert estimator.estimate(labeled.query.subquery(subset)) == count
+
+    def test_computes_unseen_queries(self, stats_db):
+        estimator = TrueCardEstimator().fit(stats_db)
+        query = Query(tables=frozenset({"users"}), name="unseen")
+        assert estimator.estimate(query) == stats_db.tables["users"].num_rows
+
+    def test_estimate_before_fit_raises(self):
+        estimator = TrueCardEstimator()
+        with pytest.raises(RuntimeError):
+            estimator.estimate(Query(tables=frozenset({"users"})))
+
+    def test_update_invalidates_cache(self, stats_db):
+        estimator = TrueCardEstimator().fit(stats_db)
+        query = Query(tables=frozenset({"users"}), name="inv")
+        estimator.estimate(query)
+        assert estimator.supports_update
+        estimator.update({})
+        assert estimator._known == {}

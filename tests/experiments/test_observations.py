@@ -1,0 +1,62 @@
+"""Tests for the executable observation checks (small scale)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import observations
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def context(tmp_path_factory):
+    config = replace(
+        ExperimentConfig.quick(),
+        scale=0.08,
+        stats_queries=14,
+        stats_templates=7,
+        imdb_queries=8,
+        imdb_templates=5,
+        training_queries=20,
+        max_cardinality=300_000,
+        neurocard_samples=800,
+        neurocard_epochs=2,
+        query_model_epochs=5,
+        cache_dir=tmp_path_factory.mktemp("experiments"),
+        workload_cache_dir=tmp_path_factory.mktemp("workloads"),
+    )
+    return ExperimentContext(config)
+
+
+class TestStructuralChecks:
+    """Checks that hold at any scale (no measurement noise involved)."""
+
+    def test_o9_query_driven_updates(self):
+        result = observations.check_o9()
+        assert result.holds
+
+    def test_o12_o13_q_error_blindness(self):
+        result = observations.check_o12_o13()
+        assert result.holds
+
+    def test_result_rendering(self):
+        result = observations.check_o9()
+        text = result.render()
+        assert "O9" in text and "REPRODUCED" in text
+
+
+class TestMeasuredChecks:
+    """Measured checks must at least execute and produce evidence; the
+    claims themselves are only asserted at benchmark scale."""
+
+    @pytest.mark.slow
+    def test_o5_runs(self, context):
+        result = observations.check_o5(context)
+        assert result.evidence
+        assert isinstance(result.holds, bool)
+
+    @pytest.mark.slow
+    def test_o8_runs(self, context):
+        result = observations.check_o8(context)
+        assert result.evidence

@@ -1,0 +1,90 @@
+"""Integration tests: the experiment harness end to end (small scale).
+
+Exercises every table/figure module against a miniature context with a
+restricted estimator set, checking that the paper-shaped reports
+render and that cached evaluation passes round-trip.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import figure2, figure3, table1, table2, table3, table4, table5, table7
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+METHODS = ("TrueCard", "PostgreSQL", "PessEst", "BayesCard", "FLAT")
+
+
+@pytest.fixture(scope="module")
+def context(tmp_path_factory):
+    config = replace(
+        ExperimentConfig.quick(),
+        scale=0.08,
+        stats_queries=12,
+        stats_templates=6,
+        imdb_queries=8,
+        imdb_templates=5,
+        training_queries=20,
+        max_cardinality=300_000,
+        cache_dir=tmp_path_factory.mktemp("experiments"),
+        workload_cache_dir=tmp_path_factory.mktemp("workloads"),
+    )
+    return ExperimentContext(config)
+
+
+class TestReports:
+    def test_table1(self, context):
+        output = table1.run(context)
+        assert "STATS" in output and "Figure 1" in output
+
+    def test_table2(self, context):
+        output = table2.run(context)
+        assert "STATS-CEB" in output
+
+    def test_table3(self, context):
+        output = table3.run(context, METHODS)
+        assert "stats-ceb" in output and "job-light" in output
+        assert "PostgreSQL" in output
+
+    def test_table4(self, context):
+        output = table4.run(context, ("PessEst", "BayesCard", "FLAT", "TrueCard"))
+        assert "# tables" in output
+
+    def test_table5(self, context):
+        output = table5.run(context, METHODS)
+        assert "TP Exec" in output
+
+    def test_table7(self, context):
+        output = table7.run(context, METHODS)
+        assert "Q-50%" in output and "P-50%" in output
+
+    def test_figure2(self, context):
+        output = figure2.run(context, ("TrueCard", "BayesCard", "FLAT"))
+        assert "case study" in output
+
+    def test_figure3(self, context):
+        output = figure3.run(context, ("PessEst", "BayesCard", "FLAT"))
+        assert "Model size" in output
+
+
+class TestEvaluationCache:
+    def test_record_round_trips(self, context):
+        first = context.evaluate("PostgreSQL", "stats-ceb")
+        # Drop the in-memory copy; force the disk path.
+        context._records.clear()
+        second = context.evaluate("PostgreSQL", "stats-ceb")
+        assert second.name == first.name
+        assert len(second.run.query_runs) == len(first.run.query_runs)
+        assert second.run.total_execution_seconds() == pytest.approx(
+            first.run.total_execution_seconds()
+        )
+        assert [r.p_error for r in second.run.query_runs] == pytest.approx(
+            [r.p_error for r in first.run.query_runs]
+        )
+
+    def test_truecard_is_reference(self, context):
+        record = context.evaluate("TrueCard", "stats-ceb")
+        assert record.run.aborted_count == 0
+        for query_run in record.run.query_runs:
+            assert query_run.p_error == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("info", "explain", "run-query", "export-workload", "export-csv"):
+            assert command in text
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["explain", "--sql", "SELECT COUNT(*) FROM users", "--estimator", "Magic"]
+            )
+
+
+@pytest.mark.slow
+class TestCommands:
+    """End-to-end CLI runs against quick-mode assets (slower)."""
+
+    def test_info(self, capsys):
+        assert main(["info", "--database", "imdb"]) == 0
+        out = capsys.readouterr().out
+        assert "tables:" in out and "join relations:" in out
+
+    def test_explain(self, capsys):
+        sql = (
+            "SELECT COUNT(*) FROM title, cast_info "
+            "WHERE title.id = cast_info.movie_id AND title.kind_id = 1"
+        )
+        code = main(
+            ["explain", "--database", "imdb", "--sql", sql, "--estimator", "PostgreSQL"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Join" in out and "Estimated cost" in out
+
+    def test_run_query_with_truth(self, capsys):
+        sql = (
+            "SELECT COUNT(*) FROM title, movie_companies "
+            "WHERE title.id = movie_companies.movie_id"
+        )
+        code = main(
+            [
+                "run-query",
+                "--database",
+                "imdb",
+                "--sql",
+                sql,
+                "--estimator",
+                "PostgreSQL",
+                "--truth",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "actual=" in out
+        assert "True cardinality:" in out
+
+    def test_export_csv(self, tmp_path, capsys):
+        code = main(["export-csv", "--database", "imdb", "--out", str(tmp_path / "csv")])
+        assert code == 0
+        assert (tmp_path / "csv" / "schema.json").exists()
+        assert (tmp_path / "csv" / "title.csv").exists()
+
+    def test_export_workload(self, tmp_path, capsys):
+        code = main(
+            ["export-workload", "--workload", "job-light", "--out", str(tmp_path / "w.sql")]
+        )
+        assert code == 0
+        content = (tmp_path / "w.sql").read_text()
+        assert "SELECT COUNT(*)" in content
+        assert "true_cardinality" in content

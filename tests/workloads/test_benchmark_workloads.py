@@ -1,0 +1,72 @@
+"""Tests for the STATS-CEB / JOB-LIGHT builders and Table-2 statistics."""
+
+from repro.workloads.describe import describe
+from repro.workloads.training import build_training_workload, flatten_to_examples
+
+
+class TestStatsCeb:
+    def test_queries_labeled(self, stats_workload):
+        for labeled in stats_workload:
+            assert labeled.true_cardinality >= 1
+            assert labeled.sub_plan_true_cards[labeled.query.tables] == (
+                labeled.true_cardinality
+            )
+
+    def test_diverse_join_sizes(self, stats_workload):
+        sizes = {q.query.num_tables for q in stats_workload}
+        assert len(sizes) >= 4
+
+    def test_includes_fk_fk_queries(self, stats_workload):
+        assert any(
+            not edge.one_to_many
+            for q in stats_workload
+            for edge in q.query.join_edges
+        )
+
+
+class TestJobLight:
+    def test_star_joins_only(self, imdb_workload):
+        for labeled in imdb_workload:
+            for edge in labeled.query.join_edges:
+                assert "title" in edge.tables
+                assert edge.one_to_many
+
+    def test_few_predicates(self, imdb_workload):
+        assert all(q.query.num_predicates <= 4 for q in imdb_workload)
+
+
+class TestDescribe:
+    def test_table2_directions(self, stats_db, imdb_db, stats_workload, imdb_workload):
+        """Table 2 must point the paper's way: STATS-CEB more queries,
+        more joined tables, more predicates, richer join types."""
+        stats = describe(stats_workload, stats_db.join_graph)
+        imdb = describe(imdb_workload, imdb_db.join_graph)
+        assert stats.num_queries > imdb.num_queries
+        assert stats.joined_tables[1] > imdb.joined_tables[1]
+        assert stats.predicates[1] > imdb.predicates[1]
+        assert stats.join_types == "PK-FK/FK-FK"
+        assert imdb.join_types == "PK-FK"
+
+    def test_template_count(self, stats_workload, stats_db):
+        summary = describe(stats_workload, stats_db.join_graph)
+        assert summary.num_templates >= 10
+
+
+class TestTrainingWorkload:
+    def test_flatten_produces_many_examples(self, stats_db):
+        workload = build_training_workload(
+            stats_db, num_queries=10, seed=7, use_cache=False
+        )
+        examples = flatten_to_examples(workload)
+        assert len(examples) > len(workload)
+        for query, count in examples:
+            assert count >= 0
+            assert query.num_tables >= 1
+
+    def test_training_differs_from_evaluation(self, stats_db, stats_workload):
+        workload = build_training_workload(
+            stats_db, num_queries=10, seed=7, use_cache=False
+        )
+        eval_keys = {q.query.key() for q in stats_workload}
+        train_keys = {q.query.key() for q in workload}
+        assert not (train_keys & eval_keys)

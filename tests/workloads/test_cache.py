@@ -1,0 +1,60 @@
+"""Tests for workload (de)serialization and caching."""
+
+from repro.workloads import cache
+from repro.workloads.generator import Workload
+
+
+class TestRoundTrip:
+    def test_workload_round_trips(self, stats_workload, tmp_path):
+        path = tmp_path / "wl.json"
+        cache.save(stats_workload, path)
+        loaded = cache.load(path)
+        assert loaded is not None
+        assert loaded.name == stats_workload.name
+        assert len(loaded) == len(stats_workload)
+        for original, restored in zip(stats_workload.queries, loaded.queries):
+            assert restored.query.key() == original.query.key()
+            assert restored.true_cardinality == original.true_cardinality
+            assert restored.sub_plan_true_cards == original.sub_plan_true_cards
+
+    def test_predicate_values_survive(self, stats_workload, tmp_path):
+        path = tmp_path / "wl.json"
+        cache.save(stats_workload, path)
+        loaded = cache.load(path)
+        for original, restored in zip(stats_workload.queries, loaded.queries):
+            for p_orig, p_rest in zip(
+                sorted(original.query.predicates, key=str),
+                sorted(restored.query.predicates, key=str),
+            ):
+                assert p_orig.op == p_rest.op
+                assert p_orig.value == p_rest.value
+
+
+class TestCacheBehaviour:
+    def test_load_missing_returns_none(self, tmp_path):
+        assert cache.load(tmp_path / "nope.json") is None
+
+    def test_load_corrupt_returns_none(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        assert cache.load(path) is None
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = cache.fingerprint({"x": 1, "y": 2})
+        b = cache.fingerprint({"y": 2, "x": 1})
+        c = cache.fingerprint({"x": 1, "y": 3})
+        assert a == b
+        assert a != c
+
+    def test_database_checksum_changes_with_content(self, stats_db, imdb_db):
+        assert cache.database_checksum(stats_db) != cache.database_checksum(imdb_db)
+
+    def test_cached_path_layout(self, tmp_path):
+        path = cache.cached_path("wl", "abc", tmp_path)
+        assert path.name == "wl-abc.json"
+
+    def test_save_empty_workload(self, tmp_path):
+        workload = Workload(name="empty", database_name="db")
+        path = tmp_path / "e.json"
+        cache.save(workload, path)
+        assert len(cache.load(path)) == 0

@@ -1,0 +1,51 @@
+"""Tests for workload SQL export/import."""
+
+from repro.workloads.sql_io import export_workload, import_workload
+
+
+class TestRoundTrip:
+    def test_queries_survive(self, stats_workload, stats_db, tmp_path):
+        path = tmp_path / "workload.sql"
+        export_workload(stats_workload, path)
+        loaded = import_workload(path, stats_db.join_graph)
+        assert len(loaded) == len(stats_workload)
+        for original, restored in zip(stats_workload.queries, loaded.queries):
+            assert restored.query.key() == original.query.key()
+            assert restored.query.name == original.query.name
+
+    def test_labels_survive(self, stats_workload, stats_db, tmp_path):
+        path = tmp_path / "workload.sql"
+        export_workload(stats_workload, path)
+        loaded = import_workload(path, stats_db.join_graph)
+        for original, restored in zip(stats_workload.queries, loaded.queries):
+            assert restored.true_cardinality == original.true_cardinality
+            assert restored.sub_plan_true_cards == original.sub_plan_true_cards
+
+    def test_pk_fk_orientation_preserved(self, stats_workload, stats_db, tmp_path):
+        path = tmp_path / "workload.sql"
+        export_workload(stats_workload, path)
+        loaded = import_workload(path, stats_db.join_graph)
+        for original, restored in zip(stats_workload.queries, loaded.queries):
+            original_flags = sorted(e.one_to_many for e in original.query.join_edges)
+            restored_flags = sorted(e.one_to_many for e in restored.query.join_edges)
+            assert original_flags == restored_flags
+
+
+class TestPlainSqlImport:
+    def test_unannotated_file(self, tmp_path):
+        path = tmp_path / "plain.sql"
+        path.write_text(
+            "SELECT COUNT(*) FROM a, b WHERE a.x = b.y AND a.v >= 3;\n"
+            "SELECT COUNT(*) FROM a WHERE a.v BETWEEN 1 AND 2;\n"
+        )
+        loaded = import_workload(path)
+        assert len(loaded) == 2
+        assert loaded.queries[0].true_cardinality == -1
+        assert loaded.queries[0].sub_plan_true_cards == {}
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "plain.sql"
+        path.write_text(
+            "-- a comment\n\nSELECT COUNT(*) FROM a WHERE a.v = 1;\n-- done\n"
+        )
+        assert len(import_workload(path)) == 1
