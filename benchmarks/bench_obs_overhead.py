@@ -1,0 +1,33 @@
+"""Micro-benchmark: instrumentation overhead of the obs layer.
+
+Times the executor on a fixed two-way hash join in three modes — bare
+(pre-observability walk), disabled (default ``execute()``), and
+enabled (active tracer + per-node stats) — and writes the report to
+``benchmarks/BENCH_obs_overhead.json`` so future PRs can track how
+much the instrumentation costs.
+
+The committed contract is the disabled mode: it must stay within 2% of
+the bare walk (the tier-1 copy of this check lives in
+``tests/obs/test_overhead.py`` and runs on the tiny database).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.overhead import measure_overhead
+
+REPORT_PATH = Path(__file__).parent / "BENCH_obs_overhead.json"
+
+
+def test_emit_overhead_report(context):
+    database = context.database("stats")
+    report = measure_overhead(database, repeats=30)
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nobs overhead: disabled {report['overhead_disabled'] * 100:+.2f}%, "
+        f"enabled {report['overhead_enabled'] * 100:+.2f}% "
+        f"(bare {report['bare_seconds'] * 1000:.3f} ms)"
+    )
+    assert report["overhead_disabled"] < 0.02

@@ -7,6 +7,10 @@ Examples::
         --sql "SELECT COUNT(*) FROM users, posts WHERE users.Id = posts.OwnerUserId"
     python -m repro.cli run-query --database stats --estimator BayesCard \\
         --sql "SELECT COUNT(*) FROM users, posts WHERE users.Id = posts.OwnerUserId AND users.Reputation >= 100"
+    python -m repro.cli run-query --database stats --estimator PostgreSQL \\
+        --trace-out run.trace.jsonl \\
+        --sql "SELECT COUNT(*) FROM users, posts WHERE users.Id = posts.OwnerUserId"
+    python -m repro.cli trace run.trace.jsonl
     python -m repro.cli export-workload --workload stats-ceb --out stats_ceb.sql
     python -m repro.cli export-csv --database stats --out ./stats_csv
 """
@@ -24,6 +28,7 @@ from repro.engine.explain import explain
 from repro.engine.sql import parse_query
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ESTIMATOR_ORDER, ExperimentContext
+from repro.obs import trace as obs_trace
 
 
 def _context(args) -> ExperimentContext:
@@ -65,12 +70,34 @@ def cmd_run_query(args) -> int:
     context = _context(args)
     database, query = _parse_cli_query(context, args)
     estimator = context.fitted_estimator(args.estimator, _workload_for(args.database))
-    cards = estimate_sub_plans(estimator, query)
-    result = explain(database, query, cards, analyze=True)
+    tracer = obs_trace.activate() if args.trace_out else None
+    try:
+        with obs_trace.span("query", sql=args.sql, estimator=args.estimator):
+            cards = estimate_sub_plans(estimator, query)
+            result = explain(database, query, cards, analyze=True)
+    finally:
+        if tracer is not None:
+            obs_trace.deactivate()
     print(result.text)
     if args.truth and result.actual_rows is not None:
         truth = TrueCardinalityService(database).cardinality(query)
         print(f"True cardinality: {truth} (estimator said {result.estimated_rows:.0f})")
+    if tracer is not None:
+        path = tracer.export_jsonl(args.trace_out)
+        print(f"Trace: {len(tracer.spans)} spans -> {path}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    try:
+        spans = obs_trace.load_trace(args.file)
+    except OSError as exc:
+        print(f"{args.file}: {exc.strerror or exc}")
+        return 1
+    if not spans:
+        print(f"{args.file}: empty trace")
+        return 1
+    print(obs_trace.render_trace(spans))
     return 0
 
 
@@ -126,7 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="also compute the exact cardinality",
             )
+            sub.add_argument(
+                "--trace-out",
+                metavar="FILE",
+                default=None,
+                help="record a trace of the run and export it as JSONL",
+            )
         sub.set_defaults(handler=handler)
+
+    trace_cmd = commands.add_parser(
+        "trace", help="pretty-print a JSONL trace file as a span tree"
+    )
+    trace_cmd.add_argument("file", help="trace file written by --trace-out")
+    trace_cmd.set_defaults(handler=cmd_trace)
 
     export_wl = commands.add_parser(
         "export-workload", help="write a labelled workload as annotated SQL"

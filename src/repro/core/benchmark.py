@@ -17,6 +17,7 @@ aggregate reports either flag them or substitute a penalty time.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.injection import estimate_sub_plans
@@ -28,6 +29,8 @@ from repro.engine.plans import join_order_signature, plan_methods
 from repro.engine.query import LabeledQuery
 from repro.estimators.base import CardinalityEstimator
 from repro.estimators.truecard import TrueCardEstimator
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.workloads.generator import Workload
 
 
@@ -46,6 +49,8 @@ class QueryRun:
     q_errors: list[float] = field(default_factory=list)
     join_order: tuple = ()
     methods: list[str] = field(default_factory=list)
+    #: Span id of this query's root trace span, when the run was traced.
+    trace_id: str | None = None
 
     @property
     def end_to_end_seconds(self) -> float:
@@ -74,11 +79,36 @@ class EstimatorRun:
                 total += run.execution_seconds
         return total
 
+    def total_inference_seconds(self) -> float:
+        """Sum of estimator inference times only."""
+        return sum(r.inference_seconds for r in self.query_runs)
+
     def total_planning_seconds(self) -> float:
-        return sum(r.inference_seconds + r.planning_seconds for r in self.query_runs)
+        """Sum of DP planning times only (inference excluded).
+
+        Before the observability split this accessor silently folded
+        inference time in; use :meth:`total_inference_seconds` for that
+        component, or the deprecated
+        :meth:`total_optimization_seconds` for the old combined value.
+        """
+        return sum(r.planning_seconds for r in self.query_runs)
+
+    def total_optimization_seconds(self) -> float:
+        """Deprecated combined inference + planning time."""
+        warnings.warn(
+            "total_optimization_seconds() is deprecated; use "
+            "total_inference_seconds() + total_planning_seconds()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.total_inference_seconds() + self.total_planning_seconds()
 
     def total_end_to_end_seconds(self, penalty: dict[str, float] | None = None) -> float:
-        return self.total_execution_seconds(penalty) + self.total_planning_seconds()
+        return (
+            self.total_execution_seconds(penalty)
+            + self.total_inference_seconds()
+            + self.total_planning_seconds()
+        )
 
     def all_q_errors(self) -> list[float]:
         return [q for run in self.query_runs for q in run.q_errors]
@@ -145,6 +175,9 @@ class EndToEndBenchmark:
         if isinstance(estimator, TrueCardEstimator):
             for labeled in self.workload.queries:
                 estimator.preload_labeled(labeled)
+        # Materialize the abort counter so metric snapshots always
+        # carry it, even for campaigns with zero aborts.
+        obs_metrics.registry().counter("benchmark.aborted_queries")
         result = EstimatorRun(
             estimator_name=estimator.name,
             workload_name=self.workload.name,
@@ -164,39 +197,54 @@ class EndToEndBenchmark:
             for subset, count in labeled.sub_plan_true_cards.items()
         }
 
-        started = time.perf_counter()
-        estimates = estimate_sub_plans(estimator, query)
-        inference_seconds = time.perf_counter() - started
+        with obs_trace.span(
+            "query", name=query.name, estimator=estimator.name
+        ) as query_span:
+            trace_id = getattr(query_span, "span_id", None)
 
-        started = time.perf_counter()
-        planned = self._planner.plan(query, estimates)
-        planning_seconds = time.perf_counter() - started
+            # The ``inference`` child span is opened inside
+            # estimate_sub_plans, next to the per-sub-plan latency
+            # histogram.
+            started = time.perf_counter()
+            estimates = estimate_sub_plans(estimator, query)
+            inference_seconds = time.perf_counter() - started
 
-        q_errors = []
-        if self._compute_q:
-            q_errors = [
-                q_error(estimates[subset], true_cards[subset])
-                for subset in estimates
-            ]
-        perr = (
-            p_error(self._planner, query, estimates, true_cards)
-            if self._compute_p
-            else float("nan")
-        )
+            started = time.perf_counter()
+            with obs_trace.span("planning", query=query.name):
+                planned = self._planner.plan(query, estimates)
+            planning_seconds = time.perf_counter() - started
 
-        aborted = False
-        cardinality = -1
-        started = time.perf_counter()
-        try:
-            execution = self._executor.execute(planned.plan)
-            execution_seconds = execution.elapsed_seconds
-            cardinality = execution.cardinality
-            for _ in range(self._repetitions - 1):
-                execution = self._executor.execute(planned.plan)
-                execution_seconds = min(execution_seconds, execution.elapsed_seconds)
-        except ExecutionAborted:
-            aborted = True
-            execution_seconds = time.perf_counter() - started
+            q_errors = []
+            if self._compute_q:
+                q_errors = [
+                    q_error(estimates[subset], true_cards[subset])
+                    for subset in estimates
+                ]
+            perr = (
+                p_error(self._planner, query, estimates, true_cards)
+                if self._compute_p
+                else float("nan")
+            )
+
+            aborted = False
+            cardinality = -1
+            started = time.perf_counter()
+            with obs_trace.span("execution", query=query.name) as execution_span:
+                try:
+                    execution = self._executor.execute(planned.plan)
+                    execution_seconds = execution.elapsed_seconds
+                    cardinality = execution.cardinality
+                    for _ in range(self._repetitions - 1):
+                        execution = self._executor.execute(planned.plan)
+                        execution_seconds = min(
+                            execution_seconds, execution.elapsed_seconds
+                        )
+                    execution_span.set(rows=cardinality)
+                except ExecutionAborted:
+                    aborted = True
+                    execution_seconds = time.perf_counter() - started
+                    execution_span.set(aborted=True)
+                    obs_metrics.registry().counter("benchmark.aborted_queries").inc()
 
         return QueryRun(
             query_name=query.name,
@@ -210,4 +258,5 @@ class EndToEndBenchmark:
             q_errors=q_errors,
             join_order=join_order_signature(planned.plan),
             methods=plan_methods(planned.plan),
+            trace_id=trace_id,
         )

@@ -11,7 +11,11 @@ method for every estimate, and injects the results back — here, as the
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.query import Query
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 def sub_plan_sets(query: Query) -> list[frozenset[str]]:
@@ -60,8 +64,31 @@ def estimate_sub_plans(estimator, query: Query) -> dict[frozenset[str], float]:
     This is the benchmark's injection step: the returned mapping is
     handed directly to the planner.  Estimates are clamped to at least
     one row, matching PostgreSQL's behaviour.
+
+    When a tracer is active the whole pass is wrapped in an
+    ``inference`` span and each sub-plan estimate feeds the
+    ``inference.latency_seconds.<estimator>`` histogram; with tracing
+    off the loop body is unchanged.
     """
+    sub_queries = sub_plan_queries(query)
+    estimator_name = getattr(estimator, "name", type(estimator).__name__)
     cards = {}
-    for subset, subquery in sub_plan_queries(query).items():
-        cards[subset] = max(1.0, float(estimator.estimate(subquery)))
+    with obs_trace.span(
+        "inference", estimator=estimator_name, sub_plans=len(sub_queries)
+    ):
+        if obs_trace.is_active():
+            histogram = obs_metrics.registry().histogram(
+                f"inference.latency_seconds.{estimator_name}"
+            )
+            for subset, subquery in sub_queries.items():
+                started = time.perf_counter()
+                estimate = float(estimator.estimate(subquery))
+                histogram.observe(time.perf_counter() - started)
+                cards[subset] = max(1.0, estimate)
+            obs_metrics.registry().counter("injection.sub_plans_estimated").inc(
+                len(sub_queries)
+            )
+        else:
+            for subset, subquery in sub_queries.items():
+                cards[subset] = max(1.0, float(estimator.estimate(subquery)))
     return cards

@@ -17,6 +17,19 @@ The three join operators do physically different work:
 - **index nested-loop join**: probes the inner base table's key index
   per outer row, fetching all key matches and applying the inner
   filters *after* the fetch, exactly like an index scan qual.
+
+Executors are **re-entrant**: per-execution state (the deadline, the
+row-count accumulators) is threaded through calls rather than stored on
+the instance, so one executor can be shared across interleaved or
+concurrent executions.
+
+Instrumentation is opt-in.  ``execute(plan)`` walks the plan on the
+same code path as always; ``execute(plan, collect_stats=True)`` — or
+any execution while a :mod:`repro.obs.trace` tracer is active — takes a
+parallel instrumented walk that records per-node
+:class:`NodeRuntimeStats` (actual rows in/out, inclusive elapsed time,
+operator method), emits one trace span per operator, and feeds the
+``executor.rows.<operator>`` counters in :mod:`repro.obs.metrics`.
 """
 
 from __future__ import annotations
@@ -36,6 +49,8 @@ from repro.engine.plans import (
     ScanNode,
 )
 from repro.engine.predicates import Predicate, conjunction_mask
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 class ExecutionAborted(RuntimeError):
@@ -48,12 +63,31 @@ class ExecutionAborted(RuntimeError):
 
 
 @dataclass
+class NodeRuntimeStats:
+    """EXPLAIN ANALYZE-grade runtime facts for one plan node.
+
+    ``elapsed_seconds`` is inclusive of children (PostgreSQL's "actual
+    total time" convention); subtract the children's stats for
+    self-time.
+    """
+
+    tables: frozenset[str]
+    method: str
+    rows_out: int
+    elapsed_seconds: float
+    rows_in: tuple[int, ...] = ()
+
+
+@dataclass
 class ExecutionResult:
     """Outcome of executing one plan."""
 
     cardinality: int
     elapsed_seconds: float
     node_rows: dict[frozenset[str], int] = field(default_factory=dict)
+    #: Per-node runtime stats; populated only on instrumented runs
+    #: (``collect_stats=True`` or an active tracer).
+    node_stats: dict[frozenset[str], NodeRuntimeStats] = field(default_factory=dict)
 
 
 class Executor:
@@ -68,20 +102,27 @@ class Executor:
         self._database = database
         self._max_rows = max_intermediate_rows
         self._timeout = timeout_seconds
-        self._deadline: float | None = None
 
-    def execute(self, plan: PlanNode) -> ExecutionResult:
+    def execute(self, plan: PlanNode, collect_stats: bool = False) -> ExecutionResult:
         """Run ``plan`` and return its output cardinality and timing."""
         started = time.perf_counter()
         deadline = None if self._timeout is None else started + self._timeout
-        self._deadline = deadline
         node_rows: dict[frozenset[str], int] = {}
-        rows = self._run(plan, node_rows, deadline)
+        node_stats: dict[frozenset[str], NodeRuntimeStats] = {}
+        if collect_stats or obs_trace.is_active():
+            try:
+                rows = self._run_instrumented(plan, node_rows, node_stats, deadline)
+            except ExecutionAborted:
+                obs_metrics.registry().counter("executor.aborts").inc()
+                raise
+        else:
+            rows = self._run(plan, node_rows, deadline)
         cardinality = self._cardinality(rows)
         return ExecutionResult(
             cardinality=cardinality,
             elapsed_seconds=time.perf_counter() - started,
             node_rows=node_rows,
+            node_stats=node_stats,
         )
 
     def count(self, plan: PlanNode) -> int:
@@ -104,13 +145,53 @@ class Executor:
             assert isinstance(plan, JoinNode)
             left = self._run(plan.left, node_rows, deadline)
             right = self._run(plan.right, node_rows, deadline)
-            result = self._join(plan, left, right)
+            result = self._join(plan, left, right, deadline)
         count = self._cardinality(result)
         if count > self._max_rows:
             raise ExecutionAborted(
                 f"intermediate result of {count} rows exceeds budget {self._max_rows}"
             )
         node_rows[plan.tables] = count
+        return result
+
+    def _run_instrumented(
+        self,
+        plan: PlanNode,
+        node_rows: dict[frozenset[str], int],
+        node_stats: dict[frozenset[str], NodeRuntimeStats],
+        deadline: float | None,
+    ) -> dict[str, np.ndarray]:
+        """Same walk as :meth:`_run`, with per-node stats and spans."""
+        if deadline is not None and time.perf_counter() > deadline:
+            raise ExecutionAborted("execution timed out")
+        started = time.perf_counter()
+        with obs_trace.span(plan.method, tables=",".join(sorted(plan.tables))) as sp:
+            rows_in: tuple[int, ...] = ()
+            if isinstance(plan, ScanNode):
+                result = self._scan(plan)
+            else:
+                assert isinstance(plan, JoinNode)
+                left = self._run_instrumented(plan.left, node_rows, node_stats, deadline)
+                right = self._run_instrumented(plan.right, node_rows, node_stats, deadline)
+                rows_in = (self._cardinality(left), self._cardinality(right))
+                result = self._join(plan, left, right, deadline)
+            count = self._cardinality(result)
+            if count > self._max_rows:
+                raise ExecutionAborted(
+                    f"intermediate result of {count} rows exceeds budget {self._max_rows}"
+                )
+            elapsed = time.perf_counter() - started
+            node_rows[plan.tables] = count
+            node_stats[plan.tables] = NodeRuntimeStats(
+                tables=plan.tables,
+                method=plan.method,
+                rows_out=count,
+                elapsed_seconds=elapsed,
+                rows_in=rows_in,
+            )
+            sp.set(rows_out=count, elapsed_ms=round(elapsed * 1000.0, 3))
+            obs_metrics.registry().counter(f"executor.rows.{plan.method}").inc(count)
+            obs_metrics.registry().counter(f"executor.nodes.{plan.method}").inc()
         return result
 
     @staticmethod
@@ -138,11 +219,12 @@ class Executor:
         node: JoinNode,
         left: dict[str, np.ndarray],
         right: dict[str, np.ndarray],
+        deadline: float | None,
     ) -> dict[str, np.ndarray]:
         edge = node.edge
         left_keys, left_valid = self._key_values(left, edge.left, edge.left_column)
         if node.method == JOIN_INDEX_NL:
-            return self._index_nl_join(node, left, left_keys, left_valid)
+            return self._index_nl_join(node, left, left_keys, left_valid, deadline)
         right_keys, right_valid = self._key_values(right, edge.right, edge.right_column)
         if node.method == JOIN_HASH:
             return self._hash_join(
@@ -206,7 +288,7 @@ class Executor:
             combined[name] = ids[build_take]
         return combined
 
-    def _index_nl_join(self, node: JoinNode, left, left_keys, left_valid):
+    def _index_nl_join(self, node: JoinNode, left, left_keys, left_valid, deadline):
         # Genuinely per-probe: each outer row performs its own index
         # descent (a Python-level loop), mirroring how a real nested
         # loop pays a per-tuple cost that batch hash/merge joins do
@@ -236,9 +318,9 @@ class Executor:
                     f"exceeding budget {self._max_rows}"
                 )
             if (
-                self._deadline is not None
+                deadline is not None
                 and i % 65536 == 0
-                and time.perf_counter() > self._deadline
+                and time.perf_counter() > deadline
             ):
                 raise ExecutionAborted("execution timed out (nested loop)")
         counts = ends - starts

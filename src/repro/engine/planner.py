@@ -27,6 +27,7 @@ from repro.engine.plans import (
     ScanNode,
 )
 from repro.engine.query import Query
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass
@@ -85,12 +86,19 @@ class Planner:
                 seen |= frontier
             return seen == mask
 
+        # DP search-effort tally, flushed to the metrics registry once
+        # per plan() call so the inner loop stays registry-free.
+        sub_plans_enumerated = 0
+        bipartitions_pruned = 0
+        join_candidates = 0
+
         # Level 1: scans.
         best: dict[int, tuple[float, PlanNode]] = {}
         for name in tables:
             node = self._best_scan(query, name, cards)
             cost = self._cost_model.scan_cost(node, cards)
             best[bit_of[name]] = (cost, node)
+            sub_plans_enumerated += 1
 
         full_mask = (1 << len(tables)) - 1
         # Enumerate connected subsets in increasing popcount order.
@@ -103,6 +111,7 @@ class Planner:
                 if not is_connected(mask):
                     continue
                 subset = mask_tables(mask)
+                sub_plans_enumerated += 1
                 out_rows = cards[subset]
                 champion: tuple[float, PlanNode] | None = None
                 # Iterate proper sub-masks; each (sub, rest) ordered pair
@@ -116,6 +125,7 @@ class Planner:
                     if left_entry is not None and right_entry is not None:
                         edge = self._crossing_edge(edge_bits, sub, rest)
                         if edge is not None:
+                            join_candidates += 1
                             candidate = self._best_join(
                                 subset,
                                 left_entry,
@@ -125,9 +135,19 @@ class Planner:
                             )
                             if champion is None or candidate[0] < champion[0]:
                                 champion = candidate
+                        else:
+                            bipartitions_pruned += 1
+                    else:
+                        bipartitions_pruned += 1
                     sub = (sub - 1) & mask
                 if champion is not None:
                     best[mask] = champion
+
+        registry = obs_metrics.registry()
+        registry.counter("planner.plans").inc()
+        registry.counter("planner.sub_plans_enumerated").inc(sub_plans_enumerated)
+        registry.counter("planner.bipartitions_pruned").inc(bipartitions_pruned)
+        registry.counter("planner.join_candidates").inc(join_candidates)
 
         if full_mask not in best:
             raise ValueError(f"no plan found for query {query.name!r} (disconnected join graph?)")

@@ -41,6 +41,7 @@ from repro.estimators.truecard import TrueCardEstimator
 from repro.estimators.unisample import UniSampleEstimator
 from repro.estimators.wjsample import WanderJoinEstimator
 from repro.experiments.config import ExperimentConfig
+from repro.obs import manifest as obs_manifest
 from repro.workloads import cache as workload_cache
 from repro.workloads.generator import Workload
 from repro.workloads.job_light import build_job_light
@@ -240,6 +241,7 @@ class ExperimentContext:
             )
             _save_record(record, path)
         self._records[key] = record
+        obs_manifest.collect_run(f"{name}/{workload_name}", record.run)
         return record
 
     def evaluate_all(self, workload_name: str, names=ESTIMATOR_ORDER):
@@ -295,6 +297,7 @@ def _load_record(path: Path) -> EstimatorRecord | None:
                 q_errors=item["q_errors"],
                 join_order=_as_tuple(item["join_order"]),
                 methods=item["methods"],
+                trace_id=item.get("trace_id"),
             )
             for item in payload["query_runs"]
         ]

@@ -4,14 +4,24 @@ Usage::
 
     python -m repro.experiments.runner --experiment table3 --mode quick
     python -m repro.experiments.runner --experiment all --mode full
+    python -m repro.experiments.runner --experiment table3 \\
+        --trace-out results/table3.trace.jsonl --manifest results/run_manifest.json
 
 ``quick`` runs at reduced scale (CI-friendly); ``full`` reproduces
 the repository's headline numbers recorded in EXPERIMENTS.md.
+
+With ``--trace-out`` the whole run executes under an active
+:mod:`repro.obs` tracer and the span tree is exported as JSONL.
+``--manifest`` (implied by ``--trace-out`` and by ``--save``) writes a
+machine-readable ``run_manifest.json`` carrying the experiment config,
+per-experiment wall times, every estimator run's per-query phase
+timings, and a metrics snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import time
 from pathlib import Path
 
@@ -29,6 +39,8 @@ from repro.experiments import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
+from repro.obs import manifest as obs_manifest
+from repro.obs import trace as obs_trace
 
 EXPERIMENTS = {
     "table1": table1.run,
@@ -64,6 +76,19 @@ def main(argv=None) -> int:
         default=None,
         help="additionally write each report to DIR/<experiment>.txt",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="run under a tracer and export the span tree as JSONL",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=None,
+        help="write a run_manifest.json (config, timings, metrics); "
+        "defaults to DIR/run_manifest.json when --save is given",
+    )
     args = parser.parse_args(argv)
 
     context = ExperimentContext(ExperimentConfig.named(args.mode))
@@ -73,13 +98,47 @@ def main(argv=None) -> int:
     save_dir = Path(args.save) if args.save else None
     if save_dir is not None:
         save_dir.mkdir(parents=True, exist_ok=True)
-    for name, experiment in selected.items():
-        started = time.perf_counter()
-        output = experiment(context)
-        print(output)
-        print(f"\n[{name} finished in {time.perf_counter() - started:.1f}s]\n")
-        if save_dir is not None:
-            (save_dir / f"{name}.txt").write_text(output + "\n")
+
+    manifest_path = Path(args.manifest) if args.manifest else None
+    if manifest_path is None and save_dir is not None:
+        manifest_path = save_dir / "run_manifest.json"
+    if manifest_path is None and args.trace_out:
+        manifest_path = Path(args.trace_out).with_name("run_manifest.json")
+
+    tracer = obs_trace.activate() if args.trace_out else None
+    if manifest_path is not None:
+        obs_manifest.enable_collection()
+
+    experiment_timings: dict[str, float] = {}
+    try:
+        for name, experiment in selected.items():
+            started = time.perf_counter()
+            with obs_trace.span("experiment", name=name):
+                output = experiment(context)
+            elapsed = time.perf_counter() - started
+            experiment_timings[name] = elapsed
+            print(output)
+            print(f"\n[{name} finished in {elapsed:.1f}s]\n")
+            if save_dir is not None:
+                (save_dir / f"{name}.txt").write_text(output + "\n")
+    finally:
+        if tracer is not None:
+            obs_trace.deactivate()
+            tracer.export_jsonl(args.trace_out)
+            print(f"[trace: {len(tracer.spans)} spans -> {args.trace_out}]")
+        if manifest_path is not None:
+            config = {
+                key: str(value) if isinstance(value, Path) else value
+                for key, value in dataclasses.asdict(context.config).items()
+            }
+            obs_manifest.write_run_manifest(
+                manifest_path,
+                config,
+                trace_file=args.trace_out,
+                extra={"experiment_timings_seconds": experiment_timings},
+            )
+            obs_manifest.disable_collection()
+            print(f"[manifest -> {manifest_path}]")
     return 0
 
 

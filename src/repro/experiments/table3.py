@@ -34,6 +34,7 @@ def run(context: ExperimentContext, names=ESTIMATOR_ORDER) -> str:
                     name,
                     format_seconds(total, aborted),
                     f"{format_seconds(run_.total_execution_seconds(penalties), aborted)}"
+                    f" + {format_seconds(run_.total_inference_seconds())}"
                     f" + {format_seconds(run_.total_planning_seconds())}",
                     format_improvement(postgres_total, total),
                     str(run_.aborted_count),
@@ -41,7 +42,7 @@ def run(context: ExperimentContext, names=ESTIMATOR_ORDER) -> str:
             )
         sections.append(
             render_table(
-                ["Category", "Method", "End-to-End", "Exec + Plan", "Improvement", "Aborts"],
+                ["Category", "Method", "End-to-End", "Exec + Infer + Plan", "Improvement", "Aborts"],
                 rows,
                 title=f"Table 3 ({workload_name}): overall performance",
             )

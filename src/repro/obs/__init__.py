@@ -1,0 +1,42 @@
+"""Observability: tracing, metrics and run manifests (``repro.obs``).
+
+Dependency-free instrumentation for the benchmark platform:
+
+- :mod:`repro.obs.trace` — hierarchical spans with a JSONL exporter,
+- :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms,
+- :mod:`repro.obs.manifest` — machine-readable ``run_manifest.json``,
+- :mod:`repro.obs.overhead` — self-measurement of instrumentation cost.
+
+Tracing is **off by default**: :func:`repro.obs.trace.span` is a shared
+no-op until a tracer is activated, so instrumented hot paths cost one
+global read when disabled.
+"""
+
+from repro.obs.metrics import MetricsRegistry, registry
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    activate,
+    active_tracer,
+    deactivate,
+    is_active,
+    load_trace,
+    render_trace,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "deactivate",
+    "is_active",
+    "load_trace",
+    "registry",
+    "render_trace",
+    "span",
+    "use_tracer",
+]

@@ -1,0 +1,155 @@
+"""Process-wide counters, gauges and histograms.
+
+A single :class:`MetricsRegistry` (reachable through :func:`registry`)
+accumulates runtime signals the benchmark cares about:
+
+- ``executor.rows.<operator>`` — rows produced per physical operator,
+- ``planner.sub_plans_enumerated`` / ``planner.bipartitions_pruned`` —
+  DP search effort,
+- ``inference.latency_seconds.<estimator>`` — per-sub-plan estimator
+  latency histograms,
+- ``benchmark.aborted_queries`` — row-budget / timeout aborts.
+
+Metrics are plain Python objects with no locking: the engine is
+single-process and instrumented call sites record aggregates (one
+registry touch per plan/query, not per row), so the registry stays off
+the hot path.  :meth:`MetricsRegistry.snapshot` returns a
+JSON-serializable view used by ``run_manifest.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Histograms keep at most this many raw observations for percentile
+#: estimates; count/sum/min/max stay exact beyond it.
+_HISTOGRAM_SAMPLE_CAP = 8192
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Distribution summary with a bounded raw-sample reservoir."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self.samples) < _HISTOGRAM_SAMPLE_CAP:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges and histograms."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every metric, sorted by name."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {name: self._gauges[name].value for name in sorted(self._gauges)},
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def snapshot() -> dict:
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    _REGISTRY.reset()

@@ -78,10 +78,26 @@ class TestEstimatorRun:
         total = postgres_run.total_end_to_end_seconds()
         assert total == pytest.approx(
             postgres_run.total_execution_seconds()
+            + postgres_run.total_inference_seconds()
             + postgres_run.total_planning_seconds()
         )
         assert len(postgres_run.all_p_errors()) == len(postgres_run.query_runs)
         assert len(postgres_run.all_q_errors()) >= len(postgres_run.query_runs)
+
+    def test_inference_and_planning_split(self, postgres_run):
+        """The split accessors cover disjoint components; the deprecated
+        combined accessor still reports their sum (and warns)."""
+        inference = postgres_run.total_inference_seconds()
+        planning = postgres_run.total_planning_seconds()
+        assert inference == pytest.approx(
+            sum(r.inference_seconds for r in postgres_run.query_runs)
+        )
+        assert planning == pytest.approx(
+            sum(r.planning_seconds for r in postgres_run.query_runs)
+        )
+        with pytest.warns(DeprecationWarning):
+            combined = postgres_run.total_optimization_seconds()
+        assert combined == pytest.approx(inference + planning)
 
 
 class TestPenalties:
@@ -106,3 +122,71 @@ class TestSubsetRuns:
         subset = stats_workload.queries[:3]
         run = bench.run(estimator, queries=subset)
         assert len(run.query_runs) == 3
+
+
+class TestAbortAccounting:
+    def test_aborted_query_accounting(self, stats_db, stats_workload, truecard_run):
+        """An execution abort must flag the run, keep a wall-clock
+        execution time, skip the repetition loop, and take its penalty
+        in the aggregation."""
+        aborting = EndToEndBenchmark(
+            stats_db,
+            stats_workload,
+            max_intermediate_rows=1,
+            repetitions=3,
+        )
+        execute_calls = []
+        original_execute = aborting._executor.execute
+
+        def counting_execute(plan, collect_stats=False):
+            execute_calls.append(plan)
+            return original_execute(plan, collect_stats)
+
+        aborting._executor.execute = counting_execute
+        estimator = TrueCardEstimator().fit(stats_db)
+        subset = stats_workload.queries[:2]
+        run = aborting.run(estimator, queries=subset)
+
+        assert run.aborted_count == len(subset)
+        for query_run in run.query_runs:
+            assert query_run.aborted is True
+            assert query_run.execution_seconds > 0  # wall clock, not -1/NaN
+            assert query_run.result_cardinality == -1
+        # One execute attempt per query: the repetition loop is skipped.
+        assert len(execute_calls) == len(subset)
+
+        penalties = abort_penalties(truecard_run)
+        total = run.total_execution_seconds(penalties)
+        assert total == pytest.approx(
+            sum(penalties[r.query_name] for r in run.query_runs)
+        )
+        # Without penalties the raw (tiny) wall-clock times are used.
+        assert run.total_execution_seconds() < total
+
+
+class TestTraceLinks:
+    def test_untraced_runs_have_no_trace_id(self, postgres_run):
+        assert all(r.trace_id is None for r in postgres_run.query_runs)
+
+    def test_query_runs_link_to_trace(self, bench, stats_db, stats_workload):
+        from repro.obs import trace as obs_trace
+
+        estimator = PostgresEstimator().fit(stats_db)
+        subset = stats_workload.queries[:1]
+        with obs_trace.use_tracer() as tracer:
+            run = bench.run(estimator, queries=subset)
+        (query_run,) = run.query_runs
+        assert query_run.trace_id is not None
+        by_id = {span.span_id: span for span in tracer.spans}
+        assert by_id[query_run.trace_id].name == "query"
+        children = [
+            span for span in tracer.spans if span.parent_id == query_run.trace_id
+        ]
+        assert {"inference", "planning", "execution"} <= {
+            span.name for span in children
+        }
+        execution = next(span for span in children if span.name == "execution")
+        operators = [
+            span for span in tracer.spans if span.parent_id == execution.span_id
+        ]
+        assert operators, "execution span must have per-operator children"

@@ -103,6 +103,108 @@ class TestJoinOperators:
         assert Executor(tiny_db).execute(plan).elapsed_seconds > 0
 
 
+class TestInstrumentation:
+    def test_default_run_collects_no_node_stats(self, tiny_db, edges):
+        users_posts, _ = edges
+        plan = join(scan("users"), scan("posts"), users_posts, JOIN_HASH)
+        assert Executor(tiny_db).execute(plan).node_stats == {}
+
+    def test_collect_stats_records_per_node_runtime(self, tiny_db, edges):
+        users_posts, _ = edges
+        plan = join(scan("users"), scan("posts"), users_posts, JOIN_HASH)
+        result = Executor(tiny_db).execute(plan, collect_stats=True)
+        assert set(result.node_stats) == {
+            frozenset({"users"}),
+            frozenset({"posts"}),
+            plan.tables,
+        }
+        root = result.node_stats[plan.tables]
+        assert root.method == JOIN_HASH
+        assert root.rows_out == result.cardinality
+        assert root.rows_in == (
+            tiny_db.tables["users"].num_rows,
+            tiny_db.tables["posts"].num_rows,
+        )
+        # Inclusive timing: the root covers its children.
+        for child in (frozenset({"users"}), frozenset({"posts"})):
+            stats = result.node_stats[child]
+            assert stats.rows_in == ()
+            assert root.elapsed_seconds >= stats.elapsed_seconds
+
+    def test_stats_agree_with_node_rows(self, tiny_db, edges):
+        users_posts, _ = edges
+        plan = join(scan("users"), scan("posts"), users_posts, JOIN_HASH)
+        result = Executor(tiny_db).execute(plan, collect_stats=True)
+        for tables, stats in result.node_stats.items():
+            assert stats.rows_out == result.node_rows[tables]
+
+    def test_active_tracer_emits_operator_spans(self, tiny_db, edges):
+        from repro.obs import trace as obs_trace
+
+        users_posts, posts_comments = edges
+        inner = join(scan("comments"), scan("posts"), posts_comments.reversed(), JOIN_HASH)
+        plan = join(inner, scan("users"), users_posts.reversed(), JOIN_MERGE)
+        with obs_trace.use_tracer() as tracer:
+            result = Executor(tiny_db).execute(plan)
+        assert result.node_stats  # tracer presence implies instrumentation
+        by_name = {}
+        for span in tracer.spans:
+            by_name.setdefault(span.name, []).append(span)
+        assert len(by_name["seq_scan"]) == 3
+        (merge_span,) = by_name["merge_join"]
+        (hash_span,) = by_name["hash_join"]
+        assert hash_span.parent_id == merge_span.span_id
+        assert merge_span.attributes["rows_out"] == result.cardinality
+
+
+class TestReentrancy:
+    def test_no_deadline_instance_state(self, tiny_db):
+        assert not hasattr(Executor(tiny_db), "_deadline")
+
+    def test_shared_executor_across_threads(self, tiny_db, edges):
+        import threading
+
+        users_posts, posts_comments = edges
+        executor = Executor(tiny_db, timeout_seconds=60.0)
+        plan_a = join(scan("users"), scan("posts"), users_posts, JOIN_HASH)
+        plan_b = join(scan("posts"), scan("comments"), posts_comments, JOIN_MERGE)
+        expected_a = executor.execute(plan_a).cardinality
+        expected_b = executor.execute(plan_b).cardinality
+
+        results: dict[str, list[int]] = {"a": [], "b": []}
+        errors: list[Exception] = []
+
+        def worker(key, plan):
+            try:
+                for _ in range(5):
+                    results[key].append(executor.execute(plan).cardinality)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=("a", plan_a)),
+            threading.Thread(target=worker, args=("b", plan_b)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results["a"] == [expected_a] * 5
+        assert results["b"] == [expected_b] * 5
+
+    def test_timeout_does_not_poison_later_runs(self, tiny_db, edges):
+        """An aborted (timed-out) execution must not leave deadline
+        state behind that affects the next execution."""
+        users_posts, _ = edges
+        plan = join(scan("users"), scan("posts"), users_posts, JOIN_HASH)
+        executor = Executor(tiny_db, timeout_seconds=-1.0)
+        with pytest.raises(ExecutionAborted):
+            executor.execute(plan)
+        relaxed = Executor(tiny_db, timeout_seconds=None)
+        assert relaxed.execute(plan).cardinality > 0
+
+
 class TestBudgets:
     def test_row_budget_aborts(self, tiny_db, edges):
         users_posts, _ = edges

@@ -40,6 +40,19 @@ class TestExplain:
         assert "actual=" in result.text
         assert "Execution time" in result.text
 
+    def test_analyze_reports_per_node_timing(self, tiny_db, setup):
+        query, cards = setup
+        result = explain(tiny_db, query, cards, analyze=True)
+        assert "time=" in result.text
+        assert result.node_stats
+        root = result.node_stats[query.tables]
+        assert root.rows_out == result.actual_rows
+        assert root.elapsed_seconds > 0
+        # Every rendered node line shows estimate and actual side by side.
+        for line in result.text.splitlines():
+            if "actual=" in line:
+                assert "rows=" in line and "time=" in line
+
     def test_analyze_with_true_cards_matches_estimates(self, tiny_db, setup):
         """Under exact cardinalities, every node's actual equals its
         estimate (the TrueCard invariant made visible)."""

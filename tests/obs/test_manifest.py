@@ -1,0 +1,92 @@
+"""Tests for run-manifest assembly and the session collector."""
+
+import json
+
+import pytest
+
+from repro.core.benchmark import EstimatorRun, QueryRun
+from repro.obs import manifest as obs_manifest
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_collector():
+    obs_manifest.disable_collection()
+    obs_metrics.reset()
+    yield
+    obs_manifest.disable_collection()
+
+
+def _fake_run() -> EstimatorRun:
+    return EstimatorRun(
+        estimator_name="PostgreSQL",
+        workload_name="stats-ceb",
+        query_runs=[
+            QueryRun(
+                query_name="q1",
+                num_tables=2,
+                inference_seconds=0.01,
+                planning_seconds=0.002,
+                execution_seconds=0.1,
+                aborted=False,
+                result_cardinality=42,
+                p_error=1.5,
+                trace_id="abc.1",
+            ),
+            QueryRun(
+                query_name="q2",
+                num_tables=3,
+                inference_seconds=0.02,
+                planning_seconds=0.003,
+                execution_seconds=0.4,
+                aborted=True,
+                result_cardinality=-1,
+                p_error=9.0,
+            ),
+        ],
+    )
+
+
+class TestManifest:
+    def test_manifest_fields(self, tmp_path):
+        obs_metrics.registry().counter("benchmark.aborted_queries").inc()
+        path = obs_manifest.write_run_manifest(
+            tmp_path / "run_manifest.json",
+            {"mode": "quick"},
+            [("PostgreSQL/stats-ceb", _fake_run())],
+            trace_file="trace.jsonl",
+        )
+        manifest = json.loads(path.read_text())
+        obs_metrics.reset()
+
+        assert manifest["schema_version"] == obs_manifest.MANIFEST_SCHEMA_VERSION
+        assert manifest["config"] == {"mode": "quick"}
+        assert manifest["trace_file"] == "trace.jsonl"
+        (run,) = manifest["runs"]
+        assert run["estimator"] == "PostgreSQL"
+        assert run["aborted_count"] == 1
+        assert run["totals"]["inference_seconds"] == pytest.approx(0.03)
+        assert run["totals"]["planning_seconds"] == pytest.approx(0.005)
+        assert run["totals"]["execution_seconds"] == pytest.approx(0.5)
+        q1, q2 = run["queries"]
+        assert q1["trace_id"] == "abc.1"
+        assert q2["aborted"] is True
+        for phase in ("inference_seconds", "planning_seconds", "execution_seconds"):
+            assert phase in q1
+        assert manifest["metrics"]["counters"]["benchmark.aborted_queries"] == 1.0
+
+    def test_collector_gates_on_enable(self):
+        obs_manifest.collect_run("ignored", _fake_run())
+        assert obs_manifest.collected_runs() == []
+        obs_manifest.enable_collection()
+        run = _fake_run()
+        obs_manifest.collect_run("kept", run)
+        assert obs_manifest.collected_runs() == [("kept", run)]
+        obs_manifest.disable_collection()
+        assert obs_manifest.collected_runs() == []
+
+    def test_manifest_defaults_to_collected_runs(self, tmp_path):
+        obs_manifest.enable_collection()
+        obs_manifest.collect_run("a", _fake_run())
+        manifest = obs_manifest.run_manifest({"mode": "quick"})
+        assert [run["label"] for run in manifest["runs"]] == ["a"]

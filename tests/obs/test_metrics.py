@@ -1,0 +1,68 @@
+"""Tests for the process-wide metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_gauge(self):
+        gauge = Gauge()
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.0, abs=1.0)
+        assert summary["p99"] == pytest.approx(99.0, abs=1.0)
+
+    def test_empty_histogram(self):
+        assert Histogram().summary() == {"count": 0}
+        assert Histogram().percentile(50) == 0.0
+
+    def test_histogram_sample_cap_keeps_exact_aggregates(self):
+        from repro.obs.metrics import _HISTOGRAM_SAMPLE_CAP
+
+        histogram = Histogram()
+        for _ in range(_HISTOGRAM_SAMPLE_CAP + 10):
+            histogram.observe(1.0)
+        assert histogram.count == _HISTOGRAM_SAMPLE_CAP + 10
+        assert len(histogram.samples) == _HISTOGRAM_SAMPLE_CAP
+
+
+class TestRegistry:
+    def test_metrics_are_memoized_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 2.0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 3.0}
+        assert snapshot["gauges"] == {"g": 7.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,41 @@
+"""Tier-1 guard: disabled-mode instrumentation overhead stays < 2%.
+
+The measurement compares the executor's default ``execute()`` path
+(tracing off) against the bare uninstrumented walk on the tiny test
+database.  Timing noise is handled with best-of repeats plus a bounded
+number of re-measurements before declaring a regression.
+"""
+
+from repro.obs.overhead import default_overhead_plan, measure_overhead
+
+
+def test_disabled_mode_overhead_under_two_percent(tiny_db):
+    last = None
+    for attempt in range(3):
+        report = measure_overhead(tiny_db, repeats=50)
+        last = report
+        if report["overhead_disabled"] < 0.02:
+            break
+    assert last["overhead_disabled"] < 0.02, last
+
+    # Sanity on the report shape the micro-benchmark JSON relies on.
+    for key in (
+        "bare_seconds",
+        "disabled_seconds",
+        "enabled_seconds",
+        "overhead_disabled",
+        "overhead_enabled",
+        "repeats",
+    ):
+        assert key in last
+
+
+def test_enabled_mode_actually_instruments(tiny_db):
+    from repro.engine.executor import Executor
+    from repro.obs import trace as obs_trace
+
+    plan = default_overhead_plan(tiny_db)
+    with obs_trace.use_tracer() as tracer:
+        result = Executor(tiny_db).execute(plan)
+    assert result.node_stats  # instrumented because a tracer was active
+    assert {span.name for span in tracer.spans} == {"seq_scan", "hash_join"}

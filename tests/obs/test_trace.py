@@ -1,0 +1,96 @@
+"""Tests for the hierarchical tracer and its JSONL round-trip."""
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    assert obs_trace.active_tracer() is None
+    yield
+    obs_trace.deactivate()
+
+
+class TestTracer:
+    def test_span_nesting_records_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("query") as query:
+            with tracer.span("planning") as planning:
+                pass
+            with tracer.span("execution") as execution:
+                with tracer.span("hash_join"):
+                    pass
+        names = {span.name: span for span in tracer.spans}
+        assert names["planning"].parent_id == query.span_id
+        assert names["execution"].parent_id == query.span_id
+        assert names["hash_join"].parent_id == execution.span_id
+        assert names["query"].parent_id is None
+        assert planning.trace_id == tracer.trace_id
+
+    def test_durations_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="test") as span:
+            span.set(rows=7)
+        (finished,) = tracer.spans
+        assert finished.duration_seconds >= 0
+        assert finished.attributes == {"kind": "test", "rows": 7}
+        assert finished.status == "ok"
+
+    def test_exception_marks_span_status(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        assert tracer.spans[0].status == "error:ValueError"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", query="q1"):
+            with tracer.span("child"):
+                pass
+        path = tracer.export_jsonl(tmp_path / "trace.jsonl")
+        spans = obs_trace.load_trace(path)
+        assert len(spans) == 2
+        by_name = {span["name"]: span for span in spans}
+        assert by_name["child"]["parent_id"] == by_name["root"]["span_id"]
+        assert by_name["root"]["attributes"] == {"query": "q1"}
+
+    def test_render_trace_tree(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("inner", rows=3):
+                pass
+        rendered = obs_trace.render_trace(
+            obs_trace.load_trace(tracer.export_jsonl(tmp_path / "t.jsonl"))
+        )
+        lines = rendered.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  inner")
+        assert "rows=3" in lines[1]
+        assert "ms" in lines[0]
+
+
+class TestModuleRecorder:
+    def test_disabled_by_default_is_noop(self):
+        with obs_trace.span("anything", x=1) as span:
+            span.set(y=2)  # must not blow up on the null span
+        assert obs_trace.active_tracer() is None
+
+    def test_activate_routes_spans(self):
+        tracer = obs_trace.activate()
+        with obs_trace.span("recorded"):
+            pass
+        obs_trace.deactivate()
+        with obs_trace.span("dropped"):
+            pass
+        assert [span.name for span in tracer.spans] == ["recorded"]
+
+    def test_use_tracer_scopes_activation(self):
+        with obs_trace.use_tracer() as tracer:
+            assert obs_trace.is_active()
+            with obs_trace.span("inside"):
+                pass
+        assert not obs_trace.is_active()
+        assert tracer.spans[0].name == "inside"

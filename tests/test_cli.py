@@ -66,6 +66,49 @@ class TestCommands:
         assert "actual=" in out
         assert "True cardinality:" in out
 
+    def test_run_query_trace_out_and_trace_verb(self, tmp_path, capsys):
+        from repro.obs.trace import load_trace
+
+        sql = (
+            "SELECT COUNT(*) FROM title, movie_companies "
+            "WHERE title.id = movie_companies.movie_id"
+        )
+        out_file = tmp_path / "run.trace.jsonl"
+        code = main(
+            [
+                "run-query",
+                "--database",
+                "imdb",
+                "--sql",
+                sql,
+                "--estimator",
+                "PostgreSQL",
+                "--trace-out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "actual=" in out and "time=" in out  # EXPLAIN ANALYZE columns
+        assert out_file.exists()
+
+        spans = load_trace(out_file)
+        by_name = {span["name"]: span for span in spans}
+        assert {"query", "inference", "planning", "execution"} <= set(by_name)
+        root_id = by_name["query"]["span_id"]
+        for phase in ("inference", "planning", "execution"):
+            assert by_name[phase]["parent_id"] == root_id
+        operators = [
+            span
+            for span in spans
+            if span["parent_id"] == by_name["execution"]["span_id"]
+        ]
+        assert operators, "execution span must have per-operator children"
+
+        assert main(["trace", str(out_file)]) == 0
+        rendered = capsys.readouterr().out
+        assert "query" in rendered and "execution" in rendered and "ms" in rendered
+
     def test_export_csv(self, tmp_path, capsys):
         code = main(["export-csv", "--database", "imdb", "--out", str(tmp_path / "csv")])
         assert code == 0
