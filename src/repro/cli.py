@@ -80,7 +80,9 @@ def cmd_run_query(args) -> int:
             obs_trace.deactivate()
     print(result.text)
     if args.truth and result.actual_rows is not None:
-        truth = TrueCardinalityService(database).cardinality(query)
+        truth = TrueCardinalityService(
+            database, use_exec_cache=not args.no_exec_cache
+        ).cardinality(query)
         print(f"True cardinality: {truth} (estimator said {result.estimated_rows:.0f})")
     if tracer is not None:
         path = tracer.export_jsonl(args.trace_out)
@@ -152,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
                 "--truth",
                 action="store_true",
                 help="also compute the exact cardinality",
+            )
+            sub.add_argument(
+                "--no-exec-cache",
+                action="store_true",
+                help="compute --truth without the result-reuse caches",
             )
             sub.add_argument(
                 "--trace-out",

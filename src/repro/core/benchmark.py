@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 from repro.core.injection import estimate_sub_plans
 from repro.core.metrics import p_error, q_error
+from repro.core.parallel import fork_available, run_parallel
+from repro.engine.cache import ExecutionContext
 from repro.engine.database import Database
 from repro.engine.executor import ExecutionAborted, Executor
 from repro.engine.planner import Planner
@@ -147,31 +149,61 @@ class EndToEndBenchmark:
         compute_q_errors: bool = True,
         compute_p_errors: bool = True,
         repetitions: int = 1,
+        workers: int = 1,
+        use_exec_cache: bool = False,
     ):
         self._database = database
         self.workload = workload
         self._planner = Planner(database)
+        # Measurement-fidelity policy: timed executions pay the real
+        # cost of every scan and hash build, so the benchmark executor
+        # runs without result-reuse caches unless explicitly opted in
+        # (``use_exec_cache=True`` — appropriate only for
+        # correctness-focused campaigns, e.g. Q-/P-Error sweeps where
+        # wall times are not reported).
+        self._context = ExecutionContext(database) if use_exec_cache else None
         self._executor = Executor(
             database,
             max_intermediate_rows=max_intermediate_rows,
             timeout_seconds=timeout_seconds,
+            context=self._context,
         )
         self._compute_q = compute_q_errors
         self._compute_p = compute_p_errors
         #: execute each plan this many times and keep the fastest run —
         #: suppresses cache/warm-up noise when comparing close methods.
         self._repetitions = max(1, repetitions)
+        self._workers = max(1, workers)
 
     @property
     def planner(self) -> Planner:
         return self._planner
 
+    @property
+    def context(self) -> ExecutionContext | None:
+        """The timed executor's cache context (None under default policy)."""
+        return self._context
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
     def run(
         self,
         estimator: CardinalityEstimator,
         queries: list[LabeledQuery] | None = None,
+        workers: int | None = None,
     ) -> EstimatorRun:
-        """Benchmark ``estimator`` over the workload (or a subset)."""
+        """Benchmark ``estimator`` over the workload (or a subset).
+
+        With ``workers > 1`` (here or in the constructor) the
+        (estimator, query) pairs are fanned across a fork-based process
+        pool; results are returned in workload order and per-worker
+        metrics are merged into the parent registry.  Estimator
+        preparation happens before the fork so children inherit the
+        ready state.  Falls back to the serial loop when forking is
+        unavailable.
+        """
         if isinstance(estimator, TrueCardEstimator):
             for labeled in self.workload.queries:
                 estimator.preload_labeled(labeled)
@@ -182,8 +214,15 @@ class EndToEndBenchmark:
             estimator_name=estimator.name,
             workload_name=self.workload.name,
         )
-        for labeled in queries if queries is not None else self.workload.queries:
-            result.query_runs.append(self._run_query(estimator, labeled))
+        run_queries = list(queries if queries is not None else self.workload.queries)
+        workers = self._workers if workers is None else max(1, workers)
+        if workers > 1 and len(run_queries) > 1 and fork_available():
+            result.query_runs.extend(
+                run_parallel(self, estimator, run_queries, workers)
+            )
+        else:
+            for labeled in run_queries:
+                result.query_runs.append(self._run_query(estimator, labeled))
         return result
 
     def _run_query(
@@ -228,21 +267,26 @@ class EndToEndBenchmark:
 
             aborted = False
             cardinality = -1
-            started = time.perf_counter()
+            attempt_started = time.perf_counter()
             with obs_trace.span("execution", query=query.name) as execution_span:
                 try:
                     execution = self._executor.execute(planned.plan)
                     execution_seconds = execution.elapsed_seconds
                     cardinality = execution.cardinality
                     for _ in range(self._repetitions - 1):
+                        attempt_started = time.perf_counter()
                         execution = self._executor.execute(planned.plan)
                         execution_seconds = min(
                             execution_seconds, execution.elapsed_seconds
                         )
                     execution_span.set(rows=cardinality)
                 except ExecutionAborted:
+                    # Charge the aborted attempt its own elapsed time —
+                    # not the wall time since the first repetition
+                    # started — and flag the query aborted even if an
+                    # earlier repetition completed.
                     aborted = True
-                    execution_seconds = time.perf_counter() - started
+                    execution_seconds = time.perf_counter() - attempt_started
                     execution_span.set(aborted=True)
                     obs_metrics.registry().counter("benchmark.aborted_queries").inc()
 

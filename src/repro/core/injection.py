@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 
 from repro.engine.query import Query
+from repro.engine.subsets import connected_subsets
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
@@ -23,34 +24,12 @@ def sub_plan_sets(query: Query) -> list[frozenset[str]]:
 
     Connectivity is evaluated over the query's own join edges.  The
     result is deterministic (sorted by size, then lexicographically).
+    Delegates to the shared, per-shape-memoized
+    :mod:`repro.engine.subsets` space, so the planner, the injection
+    pass and the true-cardinality service enumerate the subset space
+    exactly once per join template.
     """
-    tables = sorted(query.tables)
-    bit_of = {name: 1 << i for i, name in enumerate(tables)}
-    adjacency = {name: 0 for name in tables}
-    for edge in query.join_edges:
-        adjacency[edge.left] |= bit_of[edge.right]
-        adjacency[edge.right] |= bit_of[edge.left]
-
-    def is_connected(mask: int) -> bool:
-        seen = mask & -mask
-        frontier = seen
-        while frontier:
-            reachable = 0
-            m = frontier
-            while m:
-                bit = m & -m
-                m ^= bit
-                reachable |= adjacency[tables[bit.bit_length() - 1]] & mask
-            frontier = reachable & ~seen
-            seen |= frontier
-        return seen == mask
-
-    subsets = []
-    for mask in range(1, 1 << len(tables)):
-        if is_connected(mask):
-            subsets.append(frozenset(name for name in tables if bit_of[name] & mask))
-    subsets.sort(key=lambda s: (len(s), tuple(sorted(s))))
-    return subsets
+    return connected_subsets(query)
 
 
 def sub_plan_queries(query: Query) -> dict[frozenset[str], Query]:

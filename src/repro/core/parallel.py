@@ -1,0 +1,102 @@
+"""Multi-process workload evaluation.
+
+Fans the per-query work of one :class:`EndToEndBenchmark
+<repro.core.benchmark.EndToEndBenchmark>` run across a fork-based
+process pool.  Forking gives every worker copy-on-write access to the
+parent's numpy column arrays — no serialization of the database, the
+estimator or the workload ever happens; only the small, picklable
+``QueryRun`` results and per-worker metrics dumps travel back over the
+result queue.
+
+Guarantees:
+
+- **Deterministic ordering** — results come back in workload order
+  regardless of which worker finished first (``Pool.map`` semantics).
+- **Metrics fidelity** — each task resets the worker's process-local
+  metrics registry, runs its query, and ships a lossless
+  :meth:`MetricsRegistry.dump`; the parent merges every dump, so
+  counters (aborts, cache hits, planner effort) aggregate exactly as
+  in a serial run.
+- **Timing fidelity** — workers execute the same untimed-cache policy
+  as the serial path; per-query ``inference/planning/execution``
+  timings are measured inside the worker exactly as serially.  Note
+  that with more workers than cores the *per-query* wall times can
+  stretch under CPU contention; wall-clock of the whole run is what
+  parallelism buys.
+
+Tracing is process-local, so workers deactivate any tracer inherited
+from the parent; parallel runs therefore produce no per-query trace
+spans (the parent's top-level spans still record the run).
+
+On platforms without the ``fork`` start method the caller falls back
+to the serial loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Parent-side state inherited by forked workers.  Set immediately
+#: before the pool is created, cleared right after; never pickled.
+_FORK_STATE = None
+
+
+def fork_available() -> bool:
+    """Whether fork-based pools (and thus parallel runs) are usable."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """A sensible worker count: the CPUs this process may schedule on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _worker_init() -> None:
+    # Tracing is process-local: spans recorded in a forked worker
+    # would be lost (and cost time), so switch any inherited tracer
+    # off and start from a clean metrics slate.
+    obs_trace.deactivate()
+    obs_metrics.reset()
+
+
+def _run_one(index: int):
+    benchmark, estimator, queries = _FORK_STATE
+    obs_metrics.reset()
+    run = benchmark._run_query(estimator, queries[index])
+    return index, run, obs_metrics.registry().dump()
+
+
+def run_parallel(benchmark, estimator, queries, workers: int):
+    """Evaluate ``queries`` with ``estimator`` across ``workers`` processes.
+
+    Returns the list of ``QueryRun`` results in workload order; every
+    worker's metrics are merged into the parent registry before
+    returning.  The caller is responsible for estimator preparation
+    (fit / preload) *before* this call so the forked children inherit
+    the ready state.
+    """
+    global _FORK_STATE
+    if not fork_available():
+        raise RuntimeError("parallel benchmark runs require the 'fork' start method")
+    context = multiprocessing.get_context("fork")
+    _FORK_STATE = (benchmark, estimator, list(queries))
+    try:
+        with context.Pool(processes=workers, initializer=_worker_init) as pool:
+            # chunksize=1: queries vary wildly in cost; fine-grained
+            # dispatch keeps the stragglers from serializing the run.
+            outcomes = pool.map(_run_one, range(len(queries)), chunksize=1)
+    finally:
+        _FORK_STATE = None
+    registry = obs_metrics.registry()
+    runs = [None] * len(queries)
+    for index, run, dump in outcomes:
+        runs[index] = run
+        registry.merge(dump)
+    return runs

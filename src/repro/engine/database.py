@@ -64,6 +64,11 @@ class Database:
     tables: dict[str, Table]
     join_graph: JoinGraph
     _indexes: dict[tuple[str, str], SortedKeyIndex] = field(default_factory=dict)
+    #: Monotone content version, bumped on every insert.  Result-reuse
+    #: caches (:class:`repro.engine.cache.ExecutionContext`) compare it
+    #: on access and drop stale entries, so the Table-6 update path
+    #: invalidates them without explicit plumbing.
+    data_version: int = 0
 
     def table(self, name: str) -> Table:
         return self.tables[name]
@@ -85,6 +90,7 @@ class Database:
         stale = [key for key in self._indexes if key[0] == table]
         for key in stale:
             del self._indexes[key]
+        self.data_version += 1
 
     def total_rows(self) -> int:
         return sum(table.num_rows for table in self.tables.values())

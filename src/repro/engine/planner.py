@@ -27,6 +27,7 @@ from repro.engine.plans import (
     ScanNode,
 )
 from repro.engine.query import Query
+from repro.engine.subsets import space_of
 from repro.obs import metrics as obs_metrics
 
 
@@ -56,102 +57,63 @@ class Planner:
 
         ``cards`` must contain an entry for every connected subset of
         the query's join graph (i.e. the full sub-plan query space).
+
+        The connected-subset space and the valid tree bipartitions come
+        precomputed from :func:`repro.engine.subsets.space_of`, which
+        memoizes them per join-graph shape — queries instantiated from
+        the same template (and the three plan() calls each benchmark
+        query triggers: planning plus both P-Error plans) share one
+        enumeration instead of redoing the bitmask search every time.
         """
-        tables = sorted(query.tables)
-        bit_of = {name: 1 << i for i, name in enumerate(tables)}
-
-        adjacency = {name: 0 for name in tables}
-        edge_bits = []
-        for edge in query.join_edges:
-            adjacency[edge.left] |= bit_of[edge.right]
-            adjacency[edge.right] |= bit_of[edge.left]
-            edge_bits.append((bit_of[edge.left], bit_of[edge.right], edge))
-
-        def mask_tables(mask: int) -> frozenset[str]:
-            return frozenset(name for name in tables if bit_of[name] & mask)
-
-        def is_connected(mask: int) -> bool:
-            start = mask & -mask
-            seen = start
-            frontier = start
-            while frontier:
-                reachable = 0
-                m = frontier
-                while m:
-                    bit = m & -m
-                    m ^= bit
-                    name = tables[bit.bit_length() - 1]
-                    reachable |= adjacency[name] & mask
-                frontier = reachable & ~seen
-                seen |= frontier
-            return seen == mask
+        space = space_of(query)
 
         # DP search-effort tally, flushed to the metrics registry once
         # per plan() call so the inner loop stays registry-free.
         sub_plans_enumerated = 0
-        bipartitions_pruned = 0
         join_candidates = 0
 
         # Level 1: scans.
         best: dict[int, tuple[float, PlanNode]] = {}
-        for name in tables:
+        for name in space.tables:
             node = self._best_scan(query, name, cards)
             cost = self._cost_model.scan_cost(node, cards)
-            best[bit_of[name]] = (cost, node)
+            best[space.bit_of(name)] = (cost, node)
             sub_plans_enumerated += 1
 
-        full_mask = (1 << len(tables)) - 1
-        # Enumerate connected subsets in increasing popcount order.
-        masks_by_size: dict[int, list[int]] = {}
-        for mask in range(1, full_mask + 1):
-            masks_by_size.setdefault(mask.bit_count(), []).append(mask)
-
-        for size in range(2, len(tables) + 1):
-            for mask in masks_by_size.get(size, []):
-                if not is_connected(mask):
+        # Connected masks come ordered by size, so every split's halves
+        # are already solved when their union is reached.
+        for mask, subset in zip(space.connected_masks, space.subsets):
+            if mask.bit_count() < 2:
+                continue
+            sub_plans_enumerated += 1
+            champion: tuple[float, PlanNode] | None = None
+            for sub, rest, edge in space.splits[mask]:
+                left_entry = best.get(sub)
+                right_entry = best.get(rest)
+                if left_entry is None or right_entry is None:
                     continue
-                subset = mask_tables(mask)
-                sub_plans_enumerated += 1
-                out_rows = cards[subset]
-                champion: tuple[float, PlanNode] | None = None
-                # Iterate proper sub-masks; each (sub, rest) ordered pair
-                # is visited exactly once because ``sub`` ranges over all
-                # sub-masks.
-                sub = (mask - 1) & mask
-                while sub:
-                    rest = mask ^ sub
-                    left_entry = best.get(sub)
-                    right_entry = best.get(rest)
-                    if left_entry is not None and right_entry is not None:
-                        edge = self._crossing_edge(edge_bits, sub, rest)
-                        if edge is not None:
-                            join_candidates += 1
-                            candidate = self._best_join(
-                                subset,
-                                left_entry,
-                                right_entry,
-                                edge,
-                                cards,
-                            )
-                            if champion is None or candidate[0] < champion[0]:
-                                champion = candidate
-                        else:
-                            bipartitions_pruned += 1
-                    else:
-                        bipartitions_pruned += 1
-                    sub = (sub - 1) & mask
-                if champion is not None:
-                    best[mask] = champion
+                join_candidates += 1
+                candidate = self._best_join(
+                    subset,
+                    left_entry,
+                    right_entry,
+                    edge,
+                    cards,
+                )
+                if champion is None or candidate[0] < champion[0]:
+                    champion = candidate
+            if champion is not None:
+                best[mask] = champion
 
         registry = obs_metrics.registry()
         registry.counter("planner.plans").inc()
         registry.counter("planner.sub_plans_enumerated").inc(sub_plans_enumerated)
-        registry.counter("planner.bipartitions_pruned").inc(bipartitions_pruned)
+        registry.counter("planner.bipartitions_pruned").inc(space.pruned_bipartitions)
         registry.counter("planner.join_candidates").inc(join_candidates)
 
-        if full_mask not in best:
+        if space.full_mask not in best:
             raise ValueError(f"no plan found for query {query.name!r} (disconnected join graph?)")
-        cost, plan = best[full_mask]
+        cost, plan = best[space.full_mask]
         return PlannedQuery(query=query, plan=plan, estimated_cost=cost, cards=cards)
 
     # -- internals ------------------------------------------------------------
@@ -183,25 +145,6 @@ class Planner:
         seq_cost = self._cost_model.scan_cost(seq, cards)
         index_cost = self._cost_model.scan_cost(index, cards)
         return index if index_cost < seq_cost else seq
-
-    def _crossing_edge(self, edge_bits, left_mask: int, right_mask: int):
-        """The single query edge crossing the bipartition, if any.
-
-        Tree-shaped join graphs have exactly one crossing edge for every
-        bipartition into two connected halves; zero means the halves are
-        only joinable via a Cartesian product, which the planner (like
-        PostgreSQL by default) refuses to consider.
-        """
-        crossing = None
-        for left_bit, right_bit, edge in edge_bits:
-            spans = (left_bit & left_mask and right_bit & right_mask) or (
-                left_bit & right_mask and right_bit & left_mask
-            )
-            if spans:
-                if crossing is not None:
-                    return None  # multiple crossing edges: not a tree split
-                crossing = edge
-        return crossing
 
     def _best_join(
         self,

@@ -1,0 +1,219 @@
+"""Shared sub-plan subset space: connectivity and bipartitions.
+
+Three components used to enumerate the *sub-plan query space*
+independently — :func:`repro.core.injection.sub_plan_sets`,
+:meth:`repro.engine.planner.Planner.plan` and
+:mod:`repro.core.truecards` — each re-deriving connected table subsets
+with their own bitmask BFS.  This module is the single implementation:
+a :class:`JoinSpace` captures, for one join-graph *shape* (tables plus
+join edges), every connected subset and every valid tree bipartition
+with its crossing edge.
+
+Spaces are memoized per shape (:func:`plan_space`), so a workload whose
+queries share join templates pays the exponential subset enumeration
+once per template instead of three times per query — the planner's DP,
+the injection pass and the true-cardinality service all read the same
+precomputed space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.engine.catalog import JoinEdge
+
+
+@dataclass(frozen=True)
+class JoinSpace:
+    """The connected-subset space of one join-graph shape.
+
+    Attributes:
+        tables: the joined tables, sorted; bit ``i`` of a mask refers to
+            ``tables[i]``.
+        connected_masks: bitmasks of every connected subset, ordered by
+            size then lexicographically by table names (the canonical
+            sub-plan enumeration order).
+        subsets: the same subsets as frozensets, aligned with
+            ``connected_masks``.
+        splits: for every connected mask of two or more tables, the
+            ordered ``(left_mask, right_mask, crossing_edge)``
+            bipartitions into two connected halves joined by exactly one
+            edge — precisely the join candidates a tree-query DP
+            considers.  The enumeration order matches the classic
+            descending sub-mask walk so DP tie-breaking is stable.
+        pruned_bipartitions: how many (sub, rest) pairs were discarded
+            while building ``splits`` (disconnected halves or not a
+            single-edge tree split); kept for the planner's
+            search-effort metrics.
+    """
+
+    tables: tuple[str, ...]
+    connected_masks: tuple[int, ...]
+    subsets: tuple[frozenset[str], ...]
+    splits: dict[int, tuple[tuple[int, int, JoinEdge], ...]]
+    pruned_bipartitions: int
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << len(self.tables)) - 1
+
+    def bit_of(self, table: str) -> int:
+        return 1 << self.tables.index(table)
+
+    def tables_of(self, mask: int) -> frozenset[str]:
+        return frozenset(
+            name for i, name in enumerate(self.tables) if mask & (1 << i)
+        )
+
+    def is_connected(self, mask: int) -> bool:
+        return mask in self._connected_set
+
+    @property
+    def _connected_set(self) -> frozenset[int]:
+        # Built lazily; object.__setattr__ because the dataclass is frozen.
+        cached = self.__dict__.get("_connected_set_cache")
+        if cached is None:
+            cached = frozenset(self.connected_masks)
+            object.__setattr__(self, "_connected_set_cache", cached)
+        return cached
+
+
+def _build_space(tables: tuple[str, ...], edges: tuple[JoinEdge, ...]) -> JoinSpace:
+    bit_of = {name: 1 << i for i, name in enumerate(tables)}
+    adjacency = {name: 0 for name in tables}
+    edge_bits: list[tuple[int, int, JoinEdge]] = []
+    for edge in edges:
+        adjacency[edge.left] |= bit_of[edge.right]
+        adjacency[edge.right] |= bit_of[edge.left]
+        edge_bits.append((bit_of[edge.left], bit_of[edge.right], edge))
+
+    def is_connected(mask: int) -> bool:
+        seen = mask & -mask
+        frontier = seen
+        while frontier:
+            reachable = 0
+            m = frontier
+            while m:
+                bit = m & -m
+                m ^= bit
+                reachable |= adjacency[tables[bit.bit_length() - 1]] & mask
+            frontier = reachable & ~seen
+            seen |= frontier
+        return seen == mask
+
+    connected: list[int] = []
+    for mask in range(1, 1 << len(tables)):
+        if is_connected(mask):
+            connected.append(mask)
+    subsets_of = {
+        mask: frozenset(name for name in tables if bit_of[name] & mask)
+        for mask in connected
+    }
+    # Canonical sub-plan order: by size, then lexicographically.
+    connected.sort(key=lambda m: (m.bit_count(), tuple(sorted(subsets_of[m]))))
+    connected_set = set(connected)
+
+    def crossing_edge(left_mask: int, right_mask: int) -> JoinEdge | None:
+        crossing = None
+        for left_bit, right_bit, edge in edge_bits:
+            spans = (left_bit & left_mask and right_bit & right_mask) or (
+                left_bit & right_mask and right_bit & left_mask
+            )
+            if spans:
+                if crossing is not None:
+                    return None  # multiple crossing edges: not a tree split
+                crossing = edge
+        return crossing
+
+    splits: dict[int, tuple[tuple[int, int, JoinEdge], ...]] = {}
+    pruned = 0
+    for mask in connected:
+        if mask.bit_count() < 2:
+            continue
+        found: list[tuple[int, int, JoinEdge]] = []
+        # Descending sub-mask walk, matching the seed planner's
+        # enumeration order (keeps DP tie-breaking bit-identical).
+        sub = (mask - 1) & mask
+        while sub:
+            rest = mask ^ sub
+            if sub in connected_set and rest in connected_set:
+                edge = crossing_edge(sub, rest)
+                if edge is not None:
+                    found.append((sub, rest, edge))
+                else:
+                    pruned += 1
+            else:
+                pruned += 1
+            sub = (sub - 1) & mask
+        splits[mask] = tuple(found)
+
+    return JoinSpace(
+        tables=tables,
+        connected_masks=tuple(connected),
+        subsets=tuple(subsets_of[mask] for mask in connected),
+        splits=splits,
+        pruned_bipartitions=pruned,
+    )
+
+
+@lru_cache(maxsize=1024)
+def _space_cached(tables: tuple[str, ...], edges: tuple[JoinEdge, ...]) -> JoinSpace:
+    return _build_space(tables, edges)
+
+
+def plan_space(
+    tables: frozenset[str],
+    join_edges: tuple[JoinEdge, ...],
+) -> JoinSpace:
+    """The (memoized) subset space of a join-graph shape.
+
+    Queries instantiated from the same join template share one space;
+    the cache is keyed by the sorted table names plus a canonical edge
+    ordering, so edge tuple order does not split the cache.
+    """
+    canonical_edges = tuple(
+        sorted(
+            join_edges,
+            key=lambda e: (e.left, e.left_column, e.right, e.right_column),
+        )
+    )
+    return _space_cached(tuple(sorted(tables)), canonical_edges)
+
+
+def space_of(query) -> JoinSpace:
+    """The subset space of one :class:`repro.engine.query.Query`."""
+    return plan_space(query.tables, query.join_edges)
+
+
+def connected_subsets(query) -> list[frozenset[str]]:
+    """All connected table subsets of ``query``, smallest first.
+
+    Canonical order: by size, then lexicographically — the sub-plan
+    enumeration order every consumer (injection, planner, truecards)
+    agrees on.
+    """
+    return list(space_of(query).subsets)
+
+
+def leaf_split(query, subset: frozenset[str]) -> tuple[str, JoinEdge] | None:
+    """A table of ``subset`` removable without disconnecting it.
+
+    For tree-shaped join graphs every connected subset of two or more
+    tables has a leaf (a table touching exactly one in-subset edge);
+    the returned edge is the single edge connecting the leaf to the
+    rest.  Deterministic: the lexicographically first leaf wins.
+    Returns None for degenerate (non-tree) edge sets.
+    """
+    edges = query.edges_within(subset)
+    degree: dict[str, int] = {name: 0 for name in subset}
+    incident: dict[str, JoinEdge] = {}
+    for edge in edges:
+        degree[edge.left] += 1
+        degree[edge.right] += 1
+        incident[edge.left] = edge
+        incident[edge.right] = edge
+    for name in sorted(subset):
+        if degree[name] == 1:
+            return name, incident[name]
+    return None

@@ -31,6 +31,11 @@ class ExperimentConfig:
     neurocard_samples: int = 4_000
     neurocard_epochs: int = 4
     query_model_epochs: int = 25
+    #: worker processes for benchmark runs (1 = serial; >1 forks).
+    workers: int = 1
+    #: result-reuse caches on correctness-only paths (labelling,
+    #: Q-/P-Error).  Timed executions always bypass them regardless.
+    exec_cache: bool = True
     #: where evaluation-run caches live.
     cache_dir: Path = field(default=Path(".cache") / "experiments")
     #: where labelled-workload caches live (None = the package default,

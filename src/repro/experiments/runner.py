@@ -71,6 +71,20 @@ def main(argv=None) -> int:
         help="reduced-scale quick pass or the full reproduction",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan benchmark queries across N forked worker processes "
+        "(results and metrics are deterministic; 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-exec-cache",
+        action="store_true",
+        help="disable result-reuse caches on correctness-only paths "
+        "(labelling, Q-/P-Error); timed executions always bypass them",
+    )
+    parser.add_argument(
         "--save",
         metavar="DIR",
         default=None,
@@ -91,7 +105,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    context = ExperimentContext(ExperimentConfig.named(args.mode))
+    config = dataclasses.replace(
+        ExperimentConfig.named(args.mode),
+        workers=max(1, args.workers),
+        exec_cache=not args.no_exec_cache,
+    )
+    context = ExperimentContext(config)
     selected = EXPERIMENTS if args.experiment == "all" else {
         args.experiment: EXPERIMENTS[args.experiment]
     }

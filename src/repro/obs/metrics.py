@@ -133,6 +133,50 @@ class MetricsRegistry:
             },
         }
 
+    def dump(self) -> dict:
+        """Full lossless state, including raw histogram samples.
+
+        Unlike :meth:`snapshot` (a human/JSON summary), a dump can be
+        merged into another registry without losing information — the
+        transport format for per-worker metrics in multi-process
+        benchmark runs.
+        """
+        return {
+            "counters": {name: c.value for name, c in self._counters.items()},
+            "gauges": {name: g.value for name, g in self._gauges.items()},
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "minimum": h.minimum,
+                    "maximum": h.maximum,
+                    "samples": list(h.samples),
+                }
+                for name, h in self._histograms.items()
+            },
+        }
+
+    def merge(self, dump: dict) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters and histogram totals add; gauges are last-write-wins;
+        histogram sample reservoirs extend up to the cap.  Used to
+        aggregate per-worker metrics after a parallel workload run.
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, payload in dump.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            histogram.count += payload["count"]
+            histogram.total += payload["total"]
+            histogram.minimum = min(histogram.minimum, payload["minimum"])
+            histogram.maximum = max(histogram.maximum, payload["maximum"])
+            room = _HISTOGRAM_SAMPLE_CAP - len(histogram.samples)
+            if room > 0:
+                histogram.samples.extend(payload["samples"][:room])
+
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()

@@ -77,9 +77,12 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
 
 
-@pytest.fixture(scope="session")
-def tiny_db() -> Database:
-    """A hand-built 3-table database with known contents."""
+def make_tiny_db() -> Database:
+    """A fresh hand-built 3-table database with known contents.
+
+    Use this factory (instead of the session-scoped ``tiny_db``
+    fixture) in tests that mutate the database, e.g. insert batches.
+    """
     rng = np.random.default_rng(0)
     users = TableSchema(
         "users",
@@ -140,3 +143,9 @@ def tiny_db() -> Database:
         },
         join_graph=graph,
     )
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> Database:
+    """A hand-built 3-table database with known contents."""
+    return make_tiny_db()

@@ -1,9 +1,12 @@
 """Tests for the end-to-end benchmark driver."""
 
+import time
+
 import pytest
 
 from repro.core.benchmark import EndToEndBenchmark, abort_penalties
 from repro.core.truecards import TrueCardinalityService
+from repro.engine.executor import ExecutionAborted
 from repro.estimators.postgres import PostgresEstimator
 from repro.estimators.truecard import TrueCardEstimator
 
@@ -162,6 +165,51 @@ class TestAbortAccounting:
         )
         # Without penalties the raw (tiny) wall-clock times are used.
         assert run.total_execution_seconds() < total
+
+
+class TestRepetitionAbortAccounting:
+    def test_abort_on_later_repetition_reports_own_elapsed(
+        self, stats_db, stats_workload
+    ):
+        """When repetition k > 1 aborts, execution_seconds must be the
+        aborted attempt's own elapsed time — not the wall time since
+        the first repetition started — and the run stays flagged
+        aborted even though an earlier repetition completed."""
+        bench = EndToEndBenchmark(stats_db, stats_workload, repetitions=2)
+        original_execute = bench._executor.execute
+        calls = []
+        first_rep_seconds = 0.2
+
+        def flaky_execute(plan, collect_stats=False):
+            calls.append(plan)
+            if len(calls) == 1:
+                time.sleep(first_rep_seconds)
+                return original_execute(plan, collect_stats)
+            raise ExecutionAborted("flaked on repetition 2")
+
+        bench._executor.execute = flaky_execute
+        estimator = TrueCardEstimator().fit(stats_db)
+        run = bench.run(estimator, queries=stats_workload.queries[:1])
+
+        (query_run,) = run.query_runs
+        assert len(calls) == 2
+        assert query_run.aborted is True
+        # The aborted second attempt raised immediately; its elapsed
+        # time must not include the slow first repetition.
+        assert query_run.execution_seconds < first_rep_seconds / 2
+
+
+class TestCachePolicy:
+    def test_timed_path_bypasses_exec_cache_by_default(self, bench):
+        """Measurement fidelity: the timed executor must not reuse
+        selection vectors or build sides unless explicitly opted in."""
+        assert bench.context is None
+        assert bench._executor.context is None
+
+    def test_exec_cache_opt_in(self, stats_db, stats_workload):
+        opted = EndToEndBenchmark(stats_db, stats_workload, use_exec_cache=True)
+        assert opted.context is not None
+        assert opted._executor.context is opted.context
 
 
 class TestTraceLinks:

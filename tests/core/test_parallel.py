@@ -1,0 +1,96 @@
+"""Tests for the multi-process workload runner."""
+
+import pytest
+
+from repro.core.benchmark import EndToEndBenchmark
+from repro.core.parallel import default_workers, fork_available
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.truecard import TrueCardEstimator
+from repro.obs import metrics as obs_metrics
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def bench(stats_db, stats_workload):
+    return EndToEndBenchmark(stats_db, stats_workload)
+
+
+@pytest.fixture(scope="module")
+def subset(stats_workload):
+    return stats_workload.queries[:6]
+
+
+class TestHelpers:
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_workers_clamped(self, stats_db, stats_workload):
+        assert EndToEndBenchmark(stats_db, stats_workload, workers=0).workers == 1
+
+
+@needs_fork
+class TestSerialEquivalence:
+    """A parallel run must be observably identical to a serial one."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, bench, stats_db, subset):
+        estimator = PostgresEstimator().fit(stats_db)
+        serial = bench.run(estimator, queries=subset)
+        parallel = bench.run(estimator, queries=subset, workers=2)
+        return serial, parallel
+
+    def test_query_order_preserved(self, runs, subset):
+        serial, parallel = runs
+        names = [labeled.query.name for labeled in subset]
+        assert [r.query_name for r in serial.query_runs] == names
+        assert [r.query_name for r in parallel.query_runs] == names
+
+    def test_results_identical(self, runs):
+        serial, parallel = runs
+        for s, p in zip(serial.query_runs, parallel.query_runs):
+            assert s.result_cardinality == p.result_cardinality
+            assert s.aborted == p.aborted
+
+    def test_q_errors_identical(self, runs):
+        serial, parallel = runs
+        for s, p in zip(serial.query_runs, parallel.query_runs):
+            assert s.q_errors == p.q_errors
+
+    def test_p_errors_identical(self, runs):
+        serial, parallel = runs
+        for s, p in zip(serial.query_runs, parallel.query_runs):
+            assert s.p_error == p.p_error
+
+    def test_join_orders_and_methods_identical(self, runs):
+        serial, parallel = runs
+        for s, p in zip(serial.query_runs, parallel.query_runs):
+            assert s.join_order == p.join_order
+            assert s.methods == p.methods
+
+
+@needs_fork
+class TestMetricsMerge:
+    def test_worker_metrics_reach_parent(self, bench, stats_db, subset):
+        estimator = TrueCardEstimator().fit(stats_db)
+        obs_metrics.reset()
+        bench.run(estimator, queries=subset, workers=2)
+        counters = obs_metrics.snapshot()["counters"]
+        # Planning happens inside the workers; the merged registry must
+        # carry at least one plan per query.
+        assert counters.get("planner.plans", 0) >= len(subset)
+        obs_metrics.reset()
+
+
+class TestSerialFallback:
+    def test_single_worker_runs_serially(self, bench, stats_db, subset):
+        estimator = PostgresEstimator().fit(stats_db)
+        run = bench.run(estimator, queries=subset[:2], workers=1)
+        assert len(run.query_runs) == 2
+
+    def test_single_query_avoids_pool(self, bench, stats_db, subset):
+        estimator = PostgresEstimator().fit(stats_db)
+        run = bench.run(estimator, queries=subset[:1], workers=4)
+        assert len(run.query_runs) == 1

@@ -66,3 +66,56 @@ class TestRegistry:
         registry.counter("c").inc()
         registry.reset()
         assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestDumpMerge:
+    def test_merge_accumulates_counters(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("c").inc(2)
+        worker.counter("c").inc(3)
+        worker.counter("only_worker").inc()
+        parent.merge(worker.dump())
+        assert parent.counter("c").value == 5.0
+        assert parent.counter("only_worker").value == 1.0
+
+    def test_merge_gauges_last_write_wins(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("g").set(1)
+        worker.gauge("g").set(9)
+        parent.merge(worker.dump())
+        assert parent.gauge("g").value == 9.0
+
+    def test_merge_histograms_lossless(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        for value in (1.0, 2.0):
+            parent.histogram("h").observe(value)
+        for value in (0.5, 5.0):
+            worker.histogram("h").observe(value)
+        parent.merge(worker.dump())
+        merged = parent.histogram("h")
+        assert merged.count == 4
+        assert merged.total == pytest.approx(8.5)
+        assert merged.minimum == 0.5
+        assert merged.maximum == 5.0
+        assert sorted(merged.samples) == [0.5, 1.0, 2.0, 5.0]
+
+    def test_merge_respects_sample_cap(self):
+        from repro.obs.metrics import _HISTOGRAM_SAMPLE_CAP
+
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        for _ in range(_HISTOGRAM_SAMPLE_CAP - 5):
+            parent.histogram("h").observe(1.0)
+        for _ in range(20):
+            worker.histogram("h").observe(2.0)
+        parent.merge(worker.dump())
+        merged = parent.histogram("h")
+        assert merged.count == _HISTOGRAM_SAMPLE_CAP + 15
+        assert len(merged.samples) == _HISTOGRAM_SAMPLE_CAP
+
+    def test_dump_roundtrips_through_merge(self):
+        source, target = MetricsRegistry(), MetricsRegistry()
+        source.counter("c").inc(7)
+        source.gauge("g").set(3)
+        source.histogram("h").observe(0.25)
+        target.merge(source.dump())
+        assert target.snapshot() == source.snapshot()
