@@ -18,6 +18,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 from pathlib import Path
 
 from repro.core.injection import estimate_sub_plans
@@ -113,6 +114,69 @@ def cmd_export_workload(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run one fault-tolerant benchmark campaign and print a summary."""
+    import math
+    import statistics
+
+    from repro.obs import manifest as obs_manifest
+
+    checkpoint_path = args.resume or args.checkpoint
+    config = dataclasses.replace(
+        ExperimentConfig.named(args.mode),
+        workers=max(1, args.workers),
+        max_retries=max(0, args.max_retries),
+        query_timeout_seconds=args.query_timeout,
+        campaign_timeout_seconds=args.campaign_timeout,
+        checkpoint_path=Path(checkpoint_path) if checkpoint_path else None,
+        resume=args.resume is not None,
+    )
+    context = ExperimentContext(config)
+    workload_name = _workload_for(args.database)
+    estimator = context.fitted_estimator(args.estimator, workload_name)
+    try:
+        run = context.benchmark(workload_name).run(
+            estimator, checkpoint=context.campaign_checkpoint()
+        )
+    finally:
+        context.close_checkpoint()
+
+    p_errors = [
+        query_run.p_error
+        for query_run in run.query_runs
+        if not math.isnan(query_run.p_error)
+    ]
+    attempts = sum(query_run.attempts for query_run in run.query_runs)
+    fallbacks = sum(query_run.fallback_estimates for query_run in run.query_runs)
+    print(f"Campaign: {run.estimator_name} on {run.workload_name}")
+    print(f"  queries:             {len(run.query_runs)}")
+    print(f"  failed:              {run.failed_count}")
+    print(f"  aborted:             {run.aborted_count}")
+    print(f"  retried attempts:    {attempts - len(run.query_runs)}")
+    print(f"  fallback estimates:  {fallbacks}")
+    if p_errors:
+        print(f"  median P-Error:      {statistics.median(p_errors):.3f}")
+    print(f"  total inference:     {run.total_inference_seconds():.2f}s")
+    print(f"  total execution:     {run.total_execution_seconds():.2f}s")
+    for query_run in run.query_runs:
+        if query_run.failed:
+            print(f"  FAILED {query_run.query_name}: {query_run.error}")
+    if checkpoint_path:
+        print(f"  checkpoint:          {checkpoint_path}")
+    if args.manifest:
+        obs_manifest.write_run_manifest(
+            args.manifest,
+            {
+                key: str(value) if isinstance(value, Path) else value
+                for key, value in dataclasses.asdict(config).items()
+            },
+            [(f"{args.estimator}/{workload_name}", run)],
+            checkpoint_file=str(checkpoint_path) if checkpoint_path else None,
+        )
+        print(f"  manifest:            {args.manifest}")
+    return 0
+
+
 def cmd_export_csv(args) -> int:
     context = _context(args)
     database = context.database(args.database)
@@ -180,6 +244,66 @@ def build_parser() -> argparse.ArgumentParser:
     export_wl.add_argument("--workload", default="stats-ceb", choices=["stats-ceb", "job-light"])
     export_wl.add_argument("--out", required=True)
     export_wl.set_defaults(handler=cmd_export_workload)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run one fault-tolerant benchmark campaign "
+        "(failure isolation, retries, checkpoint/resume)",
+    )
+    bench.add_argument("--database", default="stats", choices=["stats", "imdb"])
+    bench.add_argument(
+        "--estimator",
+        default="PostgreSQL",
+        choices=list(ESTIMATOR_ORDER),
+        help="CardEst method to benchmark end to end",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="forked worker processes (with crash recovery; 1 = serial)",
+    )
+    bench.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts per failed estimator/planner/executor call",
+    )
+    bench.add_argument(
+        "--query-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per query; overruns become failed runs",
+    )
+    bench.add_argument(
+        "--campaign-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole campaign",
+    )
+    bench.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="stream completed query runs to FILE (JSONL)",
+    )
+    bench.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume from checkpoint FILE, skipping completed queries",
+    )
+    bench.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=None,
+        help="write a run_manifest.json for the campaign",
+    )
+    bench.set_defaults(handler=cmd_bench)
 
     export_data = commands.add_parser(
         "export-csv", help="dump a benchmark database as CSV files"

@@ -12,6 +12,19 @@ For every workload query and estimator:
 Executions whose intermediate results blow past the row budget are
 recorded as aborted — the analog of the paper's "> 25h" entries — and
 aggregate reports either flag them or substitute a penalty time.
+
+Campaigns are **fault tolerant** (:mod:`repro.resilience`): an
+estimator exception, a planner error or an executor crash is isolated
+to its query — recorded as ``QueryRun(failed=True, error=...)`` with
+PostgreSQL-default estimates injected for failed sub-plans — instead
+of aborting the campaign.  ``failed`` and ``aborted`` are distinct
+outcomes: *aborted* means the chosen plan blew its row/time budget
+(an estimator-quality signal the paper reports); *failed* means the
+machinery around the query broke (an infrastructure signal the paper's
+aggregates must exclude).  A retry/timeout policy applies to
+inference, planning and execution, and completed runs can stream to a
+:class:`~repro.resilience.checkpoint.CampaignCheckpoint` so an
+interrupted campaign resumes where it stopped.
 """
 
 from __future__ import annotations
@@ -20,7 +33,6 @@ import time
 import warnings
 from dataclasses import dataclass, field
 
-from repro.core.injection import estimate_sub_plans
 from repro.core.metrics import p_error, q_error
 from repro.core.parallel import fork_available, run_parallel
 from repro.engine.cache import ExecutionContext
@@ -33,6 +45,13 @@ from repro.estimators.base import CardinalityEstimator
 from repro.estimators.truecard import TrueCardEstimator
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.resilience.fallback import PostgresDefaultFallback
+from repro.resilience.policy import (
+    Deadline,
+    RetryPolicy,
+    TimeoutPolicy,
+    call_with_retry,
+)
 from repro.workloads.generator import Workload
 
 
@@ -53,6 +72,20 @@ class QueryRun:
     methods: list[str] = field(default_factory=list)
     #: Span id of this query's root trace span, when the run was traced.
     trace_id: str | None = None
+    #: True when infrastructure around the query broke (estimator
+    #: exception, planner error, executor crash, expired campaign
+    #: deadline) — distinct from ``aborted``, which is the plan blowing
+    #: its row/time budget.  A failed query never counts as aborted and
+    #: vice versa.
+    failed: bool = False
+    #: Final error text when ``failed`` (None otherwise).
+    error: str | None = None
+    #: Highest attempt count any phase of this query needed under the
+    #: retry policy (1 = everything succeeded first try).
+    attempts: int = 1
+    #: Sub-plan estimates served by the PostgreSQL-default fallback
+    #: because the estimator failed on them.
+    fallback_estimates: int = 0
 
     @property
     def end_to_end_seconds(self) -> float:
@@ -70,6 +103,11 @@ class EstimatorRun:
     @property
     def aborted_count(self) -> int:
         return sum(1 for run in self.query_runs if run.aborted)
+
+    @property
+    def failed_count(self) -> int:
+        """Queries lost to infrastructure failures (never aborts)."""
+        return sum(1 for run in self.query_runs if run.failed)
 
     def total_execution_seconds(self, penalty: dict[str, float] | None = None) -> float:
         """Sum of execution times; aborted runs take their penalty."""
@@ -119,6 +157,41 @@ class EstimatorRun:
         return [run.p_error for run in self.query_runs]
 
 
+#: Error text recorded on queries that could not start before the
+#: campaign deadline expired.  Such runs are *not* checkpointed, so a
+#: later ``--resume`` still gets to complete them.
+CAMPAIGN_DEADLINE_ERROR = "campaign deadline exceeded"
+
+
+def _campaign_deadline_run(labeled: LabeledQuery) -> QueryRun:
+    return failed_query_run(labeled, CAMPAIGN_DEADLINE_ERROR)
+
+
+def failed_query_run(labeled: LabeledQuery, error: str) -> QueryRun:
+    """A synthetic failed run for a query that never produced a result.
+
+    Used for campaign-deadline skips and for queries whose worker
+    crashed past the requeue budget — the result set stays complete
+    (one QueryRun per query) with the loss recorded instead of silent.
+    """
+    return QueryRun(
+        query_name=labeled.query.name,
+        num_tables=labeled.query.num_tables,
+        inference_seconds=0.0,
+        planning_seconds=0.0,
+        execution_seconds=0.0,
+        aborted=False,
+        result_cardinality=-1,
+        p_error=float("nan"),
+        failed=True,
+        error=error,
+    )
+
+
+def _deadline_skip(run: QueryRun) -> bool:
+    return run.failed and run.error == CAMPAIGN_DEADLINE_ERROR
+
+
 def abort_penalties(
     baseline: EstimatorRun,
     factor: float = 10.0,
@@ -151,10 +224,25 @@ class EndToEndBenchmark:
         repetitions: int = 1,
         workers: int = 1,
         use_exec_cache: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        timeout_policy: TimeoutPolicy | None = None,
+        max_crash_retries: int = 1,
     ):
         self._database = database
         self.workload = workload
         self._planner = Planner(database)
+        #: Retry/timeout policy.  ``retry_policy=None`` (default) means
+        #: single attempts; ``timeout_policy`` defaults to the legacy
+        #: single execution timeout, keeping no-fault serial runs
+        #: byte-identical to the historical behaviour.
+        self._retry_policy = retry_policy
+        self._timeout_policy = timeout_policy or TimeoutPolicy(
+            execution_seconds=timeout_seconds
+        )
+        self._fallback = PostgresDefaultFallback(database)
+        #: How many times a query lost to a *worker crash* is requeued
+        #: in parallel runs before being recorded as failed.
+        self._max_crash_retries = max(0, max_crash_retries)
         # Measurement-fidelity policy: timed executions pay the real
         # cost of every scan and hash build, so the benchmark executor
         # runs without result-reuse caches unless explicitly opted in
@@ -193,6 +281,7 @@ class EndToEndBenchmark:
         estimator: CardinalityEstimator,
         queries: list[LabeledQuery] | None = None,
         workers: int | None = None,
+        checkpoint=None,
     ) -> EstimatorRun:
         """Benchmark ``estimator`` over the workload (or a subset).
 
@@ -203,54 +292,154 @@ class EndToEndBenchmark:
         preparation happens before the fork so children inherit the
         ready state.  Falls back to the serial loop when forking is
         unavailable.
+
+        ``checkpoint`` (a
+        :class:`~repro.resilience.checkpoint.CampaignCheckpoint`)
+        streams every completed QueryRun to disk as it finishes and
+        splices previously-recorded (estimator, query) pairs into the
+        result instead of re-running them — pass a checkpoint opened
+        with ``CampaignCheckpoint.resume`` to continue an interrupted
+        campaign.  Queries skipped because the campaign deadline
+        expired are recorded as ``failed`` but *not* checkpointed, so a
+        later resume can still complete them.
         """
         if isinstance(estimator, TrueCardEstimator):
             for labeled in self.workload.queries:
                 estimator.preload_labeled(labeled)
-        # Materialize the abort counter so metric snapshots always
-        # carry it, even for campaigns with zero aborts.
+        # Materialize the outcome counters so metric snapshots always
+        # carry them, even for campaigns with zero aborts/failures.
         obs_metrics.registry().counter("benchmark.aborted_queries")
+        obs_metrics.registry().counter("benchmark.failed_queries")
         result = EstimatorRun(
             estimator_name=estimator.name,
             workload_name=self.workload.name,
         )
         run_queries = list(queries if queries is not None else self.workload.queries)
         workers = self._workers if workers is None else max(1, workers)
-        if workers > 1 and len(run_queries) > 1 and fork_available():
-            result.query_runs.extend(
-                run_parallel(self, estimator, run_queries, workers)
+        campaign_deadline = Deadline.after(self._timeout_policy.campaign_seconds)
+
+        slots: list[QueryRun | None] = [None] * len(run_queries)
+        fresh: list[tuple[int, LabeledQuery]] = []
+        for index, labeled in enumerate(run_queries):
+            prior = (
+                checkpoint.get(estimator.name, labeled.query.name)
+                if checkpoint is not None
+                else None
             )
+            if prior is not None:
+                slots[index] = prior
+            else:
+                fresh.append((index, labeled))
+
+        def complete(index: int, labeled: LabeledQuery, run: QueryRun) -> None:
+            slots[index] = run
+            if checkpoint is not None and not _deadline_skip(run):
+                checkpoint.append(estimator.name, run)
+
+        if workers > 1 and len(fresh) > 1 and fork_available():
+            fresh_queries = [labeled for _, labeled in fresh]
+            runs = run_parallel(
+                self,
+                estimator,
+                fresh_queries,
+                workers,
+                campaign_deadline=campaign_deadline,
+                max_crash_retries=self._max_crash_retries,
+                on_complete=lambda position, run: complete(
+                    fresh[position][0], fresh[position][1], run
+                ),
+            )
+            for (index, labeled), run in zip(fresh, runs):
+                if slots[index] is None:
+                    slots[index] = run
         else:
-            for labeled in run_queries:
-                result.query_runs.append(self._run_query(estimator, labeled))
+            for index, labeled in fresh:
+                if campaign_deadline.expired:
+                    run = _campaign_deadline_run(labeled)
+                    obs_metrics.registry().counter("benchmark.failed_queries").inc()
+                else:
+                    run = self._run_query(estimator, labeled, campaign_deadline)
+                complete(index, labeled, run)
+        result.query_runs.extend(slots)
         return result
 
     def _run_query(
         self,
         estimator: CardinalityEstimator,
         labeled: LabeledQuery,
+        campaign_deadline: Deadline | None = None,
     ) -> QueryRun:
+        """Run one (estimator, query) pair with per-phase failure isolation.
+
+        An exception in inference, planning, P-Error costing or
+        execution marks the run ``failed`` (with the error recorded)
+        instead of propagating; ``ExecutionAborted`` keeps its distinct
+        ``aborted`` meaning.  Only ``BaseException``s that are not
+        ``Exception``s (KeyboardInterrupt, SystemExit, a dying worker)
+        escape — those legitimately end the campaign, and the
+        checkpoint/parallel layers handle them.
+        """
+        # Imported lazily: the inference module imports estimator
+        # machinery whose package initialization reaches back into this
+        # module, so a top-level import would close a cycle.
+        from repro.resilience.inference import resilient_sub_plan_estimates
+
         query = labeled.query
         true_cards = {
             subset: float(count)
             for subset, count in labeled.sub_plan_true_cards.items()
         }
+        retry = self._retry_policy
+        policy = self._timeout_policy
+        deadline = Deadline.earliest(
+            Deadline.after(policy.per_query_seconds), campaign_deadline
+        )
+        registry = obs_metrics.registry()
+        failed = False
+        errors: list[str] = []
+        attempts = 1
 
         with obs_trace.span(
             "query", name=query.name, estimator=estimator.name
         ) as query_span:
             trace_id = getattr(query_span, "span_id", None)
 
-            # The ``inference`` child span is opened inside
-            # estimate_sub_plans, next to the per-sub-plan latency
-            # histogram.
+            # The ``inference`` child span is opened inside the
+            # resilient estimation pass, next to the per-sub-plan
+            # latency histogram; on the no-fault path the estimates are
+            # identical to the historical estimate_sub_plans loop.
             started = time.perf_counter()
-            estimates = estimate_sub_plans(estimator, query)
+            inference = resilient_sub_plan_estimates(
+                estimator,
+                query,
+                fallback=self._fallback,
+                retry=retry,
+                deadline=deadline,
+            )
             inference_seconds = time.perf_counter() - started
+            estimates = inference.cards
+            attempts = max(attempts, inference.max_attempts)
+            if inference.failed:
+                failed = True
+                errors.append(inference.error_summary())
 
             started = time.perf_counter()
+            planned = None
             with obs_trace.span("planning", query=query.name):
-                planned = self._planner.plan(query, estimates)
+                try:
+                    planned, planning_attempts = call_with_retry(
+                        lambda: self._planner.plan(query, estimates),
+                        retry,
+                        deadline=deadline,
+                        on_retry=lambda *_: registry.counter(
+                            "resilience.planning_retries"
+                        ).inc(),
+                    )
+                    attempts = max(attempts, planning_attempts)
+                except Exception as exc:
+                    failed = True
+                    attempts = max(attempts, getattr(exc, "attempts", 1))
+                    errors.append(f"planning failed: {type(exc).__name__}: {exc}")
             planning_seconds = time.perf_counter() - started
 
             q_errors = []
@@ -259,36 +448,85 @@ class EndToEndBenchmark:
                     q_error(estimates[subset], true_cards[subset])
                     for subset in estimates
                 ]
-            perr = (
-                p_error(self._planner, query, estimates, true_cards)
-                if self._compute_p
-                else float("nan")
-            )
+            perr = float("nan")
+            if self._compute_p and planned is not None:
+                try:
+                    perr = p_error(self._planner, query, estimates, true_cards)
+                except Exception as exc:
+                    failed = True
+                    errors.append(f"p_error failed: {type(exc).__name__}: {exc}")
 
             aborted = False
             cardinality = -1
-            attempt_started = time.perf_counter()
-            with obs_trace.span("execution", query=query.name) as execution_span:
-                try:
-                    execution = self._executor.execute(planned.plan)
-                    execution_seconds = execution.elapsed_seconds
-                    cardinality = execution.cardinality
-                    for _ in range(self._repetitions - 1):
-                        attempt_started = time.perf_counter()
-                        execution = self._executor.execute(planned.plan)
-                        execution_seconds = min(
-                            execution_seconds, execution.elapsed_seconds
+            execution_seconds = 0.0
+            if planned is not None:
+                attempt_started = time.perf_counter()
+
+                def execute_once():
+                    # Reset per-attempt so an abort (or failure) is
+                    # charged its own elapsed time, not the wall time
+                    # since the first attempt started.
+                    nonlocal attempt_started
+                    attempt_started = time.perf_counter()
+                    budget = deadline.tightest(None)
+                    if budget is None:
+                        # No per-query/per-campaign deadline: the
+                        # executor's own timeout applies, on the exact
+                        # historical call path.
+                        return self._executor.execute(planned.plan)
+                    if policy.execution_seconds is not None:
+                        budget = min(budget, policy.execution_seconds)
+                    return self._executor.execute(
+                        planned.plan, timeout_seconds=budget
+                    )
+
+                with obs_trace.span("execution", query=query.name) as execution_span:
+                    try:
+                        execution, execution_attempts = call_with_retry(
+                            execute_once,
+                            retry,
+                            non_retryable=(ExecutionAborted,),
+                            deadline=deadline,
+                            on_retry=lambda *_: registry.counter(
+                                "resilience.execution_retries"
+                            ).inc(),
                         )
-                    execution_span.set(rows=cardinality)
-                except ExecutionAborted:
-                    # Charge the aborted attempt its own elapsed time —
-                    # not the wall time since the first repetition
-                    # started — and flag the query aborted even if an
-                    # earlier repetition completed.
-                    aborted = True
-                    execution_seconds = time.perf_counter() - attempt_started
-                    execution_span.set(aborted=True)
-                    obs_metrics.registry().counter("benchmark.aborted_queries").inc()
+                        attempts = max(attempts, execution_attempts)
+                        execution_seconds = execution.elapsed_seconds
+                        cardinality = execution.cardinality
+                        for _ in range(self._repetitions - 1):
+                            execution, execution_attempts = call_with_retry(
+                                execute_once,
+                                retry,
+                                non_retryable=(ExecutionAborted,),
+                                deadline=deadline,
+                            )
+                            attempts = max(attempts, execution_attempts)
+                            execution_seconds = min(
+                                execution_seconds, execution.elapsed_seconds
+                            )
+                        execution_span.set(rows=cardinality)
+                    except ExecutionAborted:
+                        # The paper's "> 25h" outcome: the plan blew its
+                        # row/time budget.  Flag the query aborted even
+                        # if an earlier repetition completed.
+                        aborted = True
+                        execution_seconds = time.perf_counter() - attempt_started
+                        execution_span.set(aborted=True)
+                        registry.counter("benchmark.aborted_queries").inc()
+                    except Exception as exc:
+                        failed = True
+                        attempts = max(attempts, getattr(exc, "attempts", 1))
+                        execution_seconds = time.perf_counter() - attempt_started
+                        cardinality = -1
+                        errors.append(
+                            f"execution failed: {type(exc).__name__}: {exc}"
+                        )
+                        execution_span.set(failed=True)
+
+            if failed:
+                registry.counter("benchmark.failed_queries").inc()
+                query_span.set(failed=True)
 
         return QueryRun(
             query_name=query.name,
@@ -300,7 +538,11 @@ class EndToEndBenchmark:
             result_cardinality=cardinality,
             p_error=perr,
             q_errors=q_errors,
-            join_order=join_order_signature(planned.plan),
-            methods=plan_methods(planned.plan),
+            join_order=join_order_signature(planned.plan) if planned else (),
+            methods=plan_methods(planned.plan) if planned else [],
             trace_id=trace_id,
+            failed=failed,
+            error="; ".join(errors) if errors else None,
+            attempts=attempts,
+            fallback_estimates=inference.fallback_count,
         )

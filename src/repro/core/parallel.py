@@ -1,28 +1,41 @@
-"""Multi-process workload evaluation.
+"""Multi-process workload evaluation with worker-crash recovery.
 
 Fans the per-query work of one :class:`EndToEndBenchmark
-<repro.core.benchmark.EndToEndBenchmark>` run across a fork-based
-process pool.  Forking gives every worker copy-on-write access to the
+<repro.core.benchmark.EndToEndBenchmark>` run across fork-based worker
+processes.  Forking gives every worker copy-on-write access to the
 parent's numpy column arrays — no serialization of the database, the
 estimator or the workload ever happens; only the small, picklable
-``QueryRun`` results and per-worker metrics dumps travel back over the
-result queue.
+``QueryRun`` results and per-worker metrics dumps travel back to the
+parent.
 
 Guarantees:
 
-- **Deterministic ordering** — results come back in workload order
-  regardless of which worker finished first (``Pool.map`` semantics).
+- **Deterministic ordering** — results are returned in workload order
+  regardless of which worker finished first.
 - **Metrics fidelity** — each task resets the worker's process-local
   metrics registry, runs its query, and ships a lossless
-  :meth:`MetricsRegistry.dump`; the parent merges every dump, so
-  counters (aborts, cache hits, planner effort) aggregate exactly as
-  in a serial run.
+  :meth:`MetricsRegistry.dump`; the parent merges every dump *as it
+  arrives*, so counters (aborts, cache hits, planner effort) aggregate
+  exactly as in a serial run — and survive an interrupted run.
 - **Timing fidelity** — workers execute the same untimed-cache policy
   as the serial path; per-query ``inference/planning/execution``
   timings are measured inside the worker exactly as serially.  Note
   that with more workers than cores the *per-query* wall times can
   stretch under CPU contention; wall-clock of the whole run is what
   parallelism buys.
+- **Crash recovery** — each worker reports results over its own pipe
+  and claims a query (synchronously, so the claim cannot be lost)
+  before running it.  A worker death (``os._exit``, segfault, OOM
+  kill) surfaces as EOF on its pipe *after* its buffered messages are
+  drained; the in-flight query is requeued to a replacement worker up
+  to ``max_crash_retries`` times, and past that budget it is recorded
+  as a *failed* ``QueryRun`` rather than hanging or losing the run.
+  Every crash increments ``benchmark.worker_crashes``.
+- **Interrupt salvage** — if the parent is interrupted
+  (KeyboardInterrupt or any other error), metrics of completed queries
+  are already merged and checkpointed runs already flushed; the
+  exception is re-raised with a ``salvaged_runs`` attribute carrying
+  the completed ``QueryRun``s and a clear note printed to stderr.
 
 Tracing is process-local, so workers deactivate any tracer inherited
 from the parent; parallel runs therefore produce no per-query trace
@@ -36,13 +49,23 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
+from multiprocessing import connection as mp_connection
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
 #: Parent-side state inherited by forked workers.  Set immediately
-#: before the pool is created, cleared right after; never pickled.
+#: before the workers are spawned, restored under try/finally even
+#: when spawning itself fails; never pickled.
 _FORK_STATE = None
+
+#: How long the dispatcher waits for worker messages before checking
+#: the campaign deadline.
+_POLL_SECONDS = 0.05
+
+#: Grace period for workers to drain their sentinel and exit.
+_JOIN_SECONDS = 5.0
 
 
 def fork_available() -> bool:
@@ -66,37 +89,199 @@ def _worker_init() -> None:
     obs_metrics.reset()
 
 
-def _run_one(index: int):
+def _worker_loop(task_queue, result_pipe) -> None:
+    """Worker main: claim an index, run it, ship the result.
+
+    The ``("start", index)`` claim is sent synchronously over the pipe
+    before the query runs — it is what lets the parent requeue the
+    right query when this process dies mid-task.  An exception escaping
+    ``_run_query`` (which already isolates ordinary per-query failures)
+    is shipped as an ``("error", ...)`` message so one broken task
+    cannot take the whole run down.
+    """
+    _worker_init()
     benchmark, estimator, queries = _FORK_STATE
-    obs_metrics.reset()
-    run = benchmark._run_query(estimator, queries[index])
-    return index, run, obs_metrics.registry().dump()
+    while True:
+        index = task_queue.get()
+        if index is None:  # sentinel: run is over
+            break
+        result_pipe.send(("start", index))
+        obs_metrics.reset()
+        try:
+            run = benchmark._run_query(estimator, queries[index])
+        except BaseException as exc:  # noqa: BLE001 — must reach the parent
+            result_pipe.send(("error", index, f"{type(exc).__name__}: {exc}"))
+        else:
+            result_pipe.send(("done", index, run, obs_metrics.registry().dump()))
+    result_pipe.close()
 
 
-def run_parallel(benchmark, estimator, queries, workers: int):
+def run_parallel(
+    benchmark,
+    estimator,
+    queries,
+    workers: int,
+    *,
+    on_complete=None,
+    campaign_deadline=None,
+    max_crash_retries: int = 1,
+):
     """Evaluate ``queries`` with ``estimator`` across ``workers`` processes.
 
     Returns the list of ``QueryRun`` results in workload order; every
-    worker's metrics are merged into the parent registry before
-    returning.  The caller is responsible for estimator preparation
+    worker's metrics are merged into the parent registry as results
+    arrive.  The caller is responsible for estimator preparation
     (fit / preload) *before* this call so the forked children inherit
     the ready state.
+
+    ``on_complete(position, run)`` fires in completion order for every
+    query that genuinely finished (including terminal failures) — the
+    benchmark's checkpoint hook.  Queries still unfinished when
+    ``campaign_deadline`` expires are filled with failed ``QueryRun``s
+    (not passed to ``on_complete``) so the result set stays complete
+    without recording them as done.
     """
+    from repro.core.benchmark import CAMPAIGN_DEADLINE_ERROR, failed_query_run
+
     global _FORK_STATE
     if not fork_available():
         raise RuntimeError("parallel benchmark runs require the 'fork' start method")
+    queries = list(queries)
+    workers = max(1, min(workers, len(queries)))
     context = multiprocessing.get_context("fork")
-    _FORK_STATE = (benchmark, estimator, list(queries))
+    registry = obs_metrics.registry()
+
+    outcomes: dict[int, object] = {}
+    claimed: dict[object, int] = {}  # reader pipe -> in-flight query index
+    crash_counts: dict[int, int] = {}
+    processes: dict[object, object] = {}  # reader pipe -> Process
+
+    def finish(index: int, run) -> None:
+        outcomes[index] = run
+        if on_complete is not None:
+            on_complete(index, run)
+
+    _FORK_STATE = (benchmark, estimator, queries)
+    task_queue = context.Queue()
     try:
-        with context.Pool(processes=workers, initializer=_worker_init) as pool:
-            # chunksize=1: queries vary wildly in cost; fine-grained
-            # dispatch keeps the stragglers from serializing the run.
-            outcomes = pool.map(_run_one, range(len(queries)), chunksize=1)
+        for index in range(len(queries)):
+            task_queue.put(index)
+
+        def spawn_worker() -> None:
+            reader, writer = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_worker_loop, args=(task_queue, writer), daemon=True
+            )
+            process.start()
+            writer.close()  # parent keeps only the reading end
+            processes[reader] = process
+
+        def reap_worker(reader) -> None:
+            """Handle EOF on a worker pipe: crash recovery or cleanup.
+
+            EOF arrives only after the pipe's buffered messages were
+            drained, so a claim without a matching result means the
+            worker really died mid-query.
+            """
+            process = processes.pop(reader)
+            process.join()
+            reader.close()
+            index = claimed.pop(reader, None)
+            crashed_mid_query = index is not None and index not in outcomes
+            if crashed_mid_query:
+                registry.counter("benchmark.worker_crashes").inc()
+                crash_counts[index] = crash_counts.get(index, 0) + 1
+                if crash_counts[index] <= max_crash_retries:
+                    task_queue.put(index)
+                else:
+                    finish(
+                        index,
+                        failed_query_run(
+                            queries[index],
+                            f"worker crashed {crash_counts[index]} times "
+                            f"(exit code {process.exitcode})",
+                        ),
+                    )
+                    registry.counter("benchmark.failed_queries").inc()
+            if len(outcomes) < len(queries):
+                spawn_worker()
+
+        for _ in range(workers):
+            spawn_worker()
+
+        while len(outcomes) < len(queries):
+            if campaign_deadline is not None and campaign_deadline.expired:
+                break
+            ready = mp_connection.wait(list(processes), timeout=_POLL_SECONDS)
+            for reader in ready:
+                try:
+                    message = reader.recv()
+                except EOFError:
+                    reap_worker(reader)
+                    continue
+                kind = message[0]
+                if kind == "start":
+                    claimed[reader] = message[1]
+                elif kind == "done":
+                    _, index, run, dump = message
+                    claimed.pop(reader, None)
+                    if index not in outcomes:  # requeue may rarely duplicate
+                        registry.merge(dump)
+                        finish(index, run)
+                elif kind == "error":
+                    _, index, error = message
+                    claimed.pop(reader, None)
+                    if index not in outcomes:
+                        finish(index, failed_query_run(queries[index], error))
+                        registry.counter("benchmark.failed_queries").inc()
+
+        # Campaign deadline: fill what never finished, without
+        # recording it as completed (a resume may still run it).
+        for index in range(len(queries)):
+            if index not in outcomes:
+                outcomes[index] = failed_query_run(
+                    queries[index], CAMPAIGN_DEADLINE_ERROR
+                )
+                registry.counter("benchmark.failed_queries").inc()
+    except BaseException as exc:
+        # Salvage: metrics of completed queries are already merged and
+        # on_complete (checkpointing) already fired per result — make
+        # the partial results reachable and the interruption loud.
+        completed = [outcomes[index] for index in sorted(outcomes)]
+        exc.salvaged_runs = completed
+        print(
+            f"[parallel run interrupted: {len(completed)}/{len(queries)} queries "
+            "completed; their metrics are merged and checkpointed results are "
+            "on disk]",
+            file=sys.stderr,
+        )
+        raise
     finally:
         _FORK_STATE = None
-    registry = obs_metrics.registry()
-    runs = [None] * len(queries)
-    for index, run, dump in outcomes:
-        runs[index] = run
-        registry.merge(dump)
-    return runs
+        _shutdown(processes, task_queue)
+    return [outcomes[index] for index in range(len(queries))]
+
+
+def _shutdown(processes, task_queue) -> None:
+    """Stop workers without hanging the parent.
+
+    Live workers get one sentinel each and a grace period; stragglers
+    (e.g. still executing a requeued task) are terminated.  The task
+    queue's feeder thread is cancelled so unread items never block
+    parent exit.
+    """
+    try:
+        for _ in processes:
+            task_queue.put(None)
+    except (OSError, ValueError):
+        pass  # queue already unusable; terminate below
+    for process in processes.values():
+        process.join(timeout=_JOIN_SECONDS)
+    for process in processes.values():
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=_JOIN_SECONDS)
+    for reader in processes:
+        reader.close()
+    task_queue.close()
+    task_queue.cancel_join_thread()

@@ -115,10 +115,22 @@ class Executor:
     def context(self) -> ExecutionContext | None:
         return self._context
 
-    def execute(self, plan: PlanNode, collect_stats: bool = False) -> ExecutionResult:
-        """Run ``plan`` and return its output cardinality and timing."""
+    def execute(
+        self,
+        plan: PlanNode,
+        collect_stats: bool = False,
+        timeout_seconds: float | None = None,
+    ) -> ExecutionResult:
+        """Run ``plan`` and return its output cardinality and timing.
+
+        ``timeout_seconds`` overrides the executor's configured timeout
+        for this one execution — the benchmark's timeout policy passes
+        the remaining per-query/per-campaign budget here when it is
+        tighter than the static execution timeout.
+        """
         started = time.perf_counter()
-        deadline = None if self._timeout is None else started + self._timeout
+        timeout = self._timeout if timeout_seconds is None else timeout_seconds
+        deadline = None if timeout is None else started + timeout
         node_rows: dict[frozenset[str], int] = {}
         node_stats: dict[frozenset[str], NodeRuntimeStats] = {}
         if collect_stats or obs_trace.is_active():

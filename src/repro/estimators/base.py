@@ -18,6 +18,20 @@ from repro.engine.query import Query
 from repro.engine.table import Table
 
 
+class EstimationError(RuntimeError):
+    """A *deterministic* inference failure.
+
+    Estimators raise this (instead of a generic exception) when an
+    estimate cannot succeed no matter how often it is retried — a model
+    that never saw the queried column, corrupted persisted state, an
+    unsupported join shape.  The benchmark's resilience layer treats
+    any exception from :meth:`CardinalityEstimator.estimate` as a
+    per-query failure rather than a campaign abort, but retries only
+    errors *other* than this one; an ``EstimationError`` goes straight
+    to the graceful-degradation fallback.
+    """
+
+
 class CardinalityEstimator(abc.ABC):
     """Base class for all CardEst methods."""
 

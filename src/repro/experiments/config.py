@@ -33,6 +33,22 @@ class ExperimentConfig:
     query_model_epochs: int = 25
     #: worker processes for benchmark runs (1 = serial; >1 forks).
     workers: int = 1
+    #: extra attempts per failed inference/planning/execution call
+    #: (0 = no retry; per-query failure isolation is always on).
+    max_retries: int = 0
+    #: wall-clock budget per (estimator, query) pair, seconds
+    #: (None = only the per-execution timeout applies).
+    query_timeout_seconds: float | None = None
+    #: wall-clock budget per campaign (one estimator over one
+    #: workload), seconds; queries that cannot start in time are
+    #: recorded as failed, never silently dropped.
+    campaign_timeout_seconds: float | None = None
+    #: stream completed (estimator, query) runs to this JSONL
+    #: checkpoint (None = no checkpointing).
+    checkpoint_path: Path | None = None
+    #: load ``checkpoint_path`` first and skip recorded pairs.
+    #: Resumed campaigns are correctness-grade, not timing-grade.
+    resume: bool = False
     #: result-reuse caches on correctness-only paths (labelling,
     #: Q-/P-Error).  Timed executions always bypass them regardless.
     exec_cache: bool = True

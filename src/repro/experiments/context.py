@@ -42,6 +42,7 @@ from repro.estimators.unisample import UniSampleEstimator
 from repro.estimators.wjsample import WanderJoinEstimator
 from repro.experiments.config import ExperimentConfig
 from repro.obs import manifest as obs_manifest
+from repro.resilience import RetryPolicy, TimeoutPolicy
 from repro.workloads import cache as workload_cache
 from repro.workloads.generator import Workload
 from repro.workloads.job_light import build_job_light
@@ -107,6 +108,8 @@ class ExperimentContext:
         self._training: dict[str, list] = {}
         self._benchmarks: dict[str, EndToEndBenchmark] = {}
         self._records: dict[tuple[str, str], EstimatorRecord] = {}
+        self._checkpoint = None
+        self._checkpoint_ready = False
 
     # -- assets -----------------------------------------------------------------
 
@@ -180,8 +183,55 @@ class ExperimentContext:
                 self.database_for_workload(workload_name),
                 self.workload(workload_name),
                 workers=self.config.workers,
+                retry_policy=self.retry_policy(),
+                timeout_policy=self.timeout_policy(),
             )
         return self._benchmarks[workload_name]
+
+    # -- resilience -----------------------------------------------------------------
+
+    def retry_policy(self) -> RetryPolicy | None:
+        if self.config.max_retries <= 0:
+            return None
+        return RetryPolicy(max_attempts=self.config.max_retries + 1)
+
+    def timeout_policy(self) -> TimeoutPolicy | None:
+        config = self.config
+        if config.query_timeout_seconds is None and config.campaign_timeout_seconds is None:
+            return None
+        return TimeoutPolicy(
+            per_query_seconds=config.query_timeout_seconds,
+            campaign_seconds=config.campaign_timeout_seconds,
+        )
+
+    def campaign_checkpoint(self):
+        """The configured campaign checkpoint, opened lazily (or None).
+
+        Without ``resume`` a pre-existing checkpoint file is truncated
+        so the stream only ever describes one campaign; with ``resume``
+        recorded (estimator, query) pairs are loaded and skipped.
+        """
+        if self._checkpoint_ready:
+            return self._checkpoint
+        self._checkpoint_ready = True
+        path = self.config.checkpoint_path
+        if path is None:
+            return None
+        from repro.resilience import CampaignCheckpoint
+
+        path = Path(path)
+        if self.config.resume:
+            self._checkpoint = CampaignCheckpoint.resume(path)
+        else:
+            path.unlink(missing_ok=True)
+            self._checkpoint = CampaignCheckpoint(path)
+        return self._checkpoint
+
+    def close_checkpoint(self) -> None:
+        if self._checkpoint is not None:
+            self._checkpoint.close()
+        self._checkpoint = None
+        self._checkpoint_ready = False
 
     # -- estimators -----------------------------------------------------------------
 
@@ -235,7 +285,9 @@ class ExperimentContext:
         record = _load_record(path)
         if record is None:
             estimator = self.fitted_estimator(name, workload_name)
-            run = self.benchmark(workload_name).run(estimator)
+            run = self.benchmark(workload_name).run(
+                estimator, checkpoint=self.campaign_checkpoint()
+            )
             record = EstimatorRecord(
                 name=name,
                 workload=workload_name,
@@ -302,6 +354,12 @@ def _load_record(path: Path) -> EstimatorRecord | None:
                 join_order=_as_tuple(item["join_order"]),
                 methods=item["methods"],
                 trace_id=item.get("trace_id"),
+                # Resilience fields; absent in records cached before
+                # the fault-tolerance layer existed.
+                failed=item.get("failed", False),
+                error=item.get("error"),
+                attempts=item.get("attempts", 1),
+                fallback_estimates=item.get("fallback_estimates", 0),
             )
             for item in payload["query_runs"]
         ]

@@ -79,6 +79,46 @@ def main(argv=None) -> int:
         "(results and metrics are deterministic; 1 = serial)",
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry failed estimator/planner/executor calls up to N extra "
+        "times (exponential backoff); failures past the budget fall back "
+        "per query instead of aborting the campaign",
+    )
+    parser.add_argument(
+        "--query-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per (estimator, query) pair; overruns are "
+        "recorded as failed query runs",
+    )
+    parser.add_argument(
+        "--campaign-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per estimator/workload campaign; queries "
+        "that cannot start in time are recorded as failed",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="stream completed query runs to FILE (JSONL) so an "
+        "interrupted campaign can be resumed",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume from a checkpoint FILE: completed (estimator, query) "
+        "pairs are skipped and new completions appended; resumed runs are "
+        "correctness-grade, not timing-grade",
+    )
+    parser.add_argument(
         "--no-exec-cache",
         action="store_true",
         help="disable result-reuse caches on correctness-only paths "
@@ -105,10 +145,16 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    checkpoint_path = args.resume or args.checkpoint
     config = dataclasses.replace(
         ExperimentConfig.named(args.mode),
         workers=max(1, args.workers),
         exec_cache=not args.no_exec_cache,
+        max_retries=max(0, args.max_retries),
+        query_timeout_seconds=args.query_timeout,
+        campaign_timeout_seconds=args.campaign_timeout,
+        checkpoint_path=Path(checkpoint_path) if checkpoint_path else None,
+        resume=args.resume is not None,
     )
     context = ExperimentContext(config)
     selected = EXPERIMENTS if args.experiment == "all" else {
@@ -141,6 +187,7 @@ def main(argv=None) -> int:
             if save_dir is not None:
                 (save_dir / f"{name}.txt").write_text(output + "\n")
     finally:
+        context.close_checkpoint()
         if tracer is not None:
             obs_trace.deactivate()
             tracer.export_jsonl(args.trace_out)
@@ -154,6 +201,7 @@ def main(argv=None) -> int:
                 manifest_path,
                 config,
                 trace_file=args.trace_out,
+                checkpoint_file=str(checkpoint_path) if checkpoint_path else None,
                 extra={"experiment_timings_seconds": experiment_timings},
             )
             obs_manifest.disable_collection()

@@ -70,6 +70,12 @@ def _query_entry(query_run) -> dict:
         "aborted": query_run.aborted,
         "p_error": query_run.p_error,
         "trace_id": query_run.trace_id,
+        # Resilience outcome (older EstimatorRun payloads loaded from
+        # disk caches may predate these fields — default to no-fault).
+        "failed": getattr(query_run, "failed", False),
+        "error": getattr(query_run, "error", None),
+        "attempts": getattr(query_run, "attempts", 1),
+        "fallback_estimates": getattr(query_run, "fallback_estimates", 0),
     }
 
 
@@ -79,6 +85,7 @@ def _run_entry(label: str, run) -> dict:
         "estimator": run.estimator_name,
         "workload": run.workload_name,
         "aborted_count": run.aborted_count,
+        "failed_count": getattr(run, "failed_count", 0),
         "totals": {
             "inference_seconds": run.total_inference_seconds(),
             "planning_seconds": run.total_planning_seconds(),
@@ -93,11 +100,15 @@ def run_manifest(
     runs: list[tuple[str, object]] | None = None,
     *,
     trace_file: str | None = None,
+    checkpoint_file: str | None = None,
     extra: dict | None = None,
 ) -> dict:
     """Assemble a manifest dict from config + runs + current metrics.
 
     ``runs`` defaults to whatever the module collector accumulated.
+    ``checkpoint_file`` links the campaign's resilience checkpoint
+    (JSONL of completed QueryRuns) the way ``trace_file`` links the
+    span tree.
     """
     if runs is None:
         runs = collected_runs()
@@ -108,6 +119,7 @@ def run_manifest(
         "runs": [_run_entry(label, run) for label, run in runs],
         "metrics": metrics.snapshot(),
         "trace_file": trace_file,
+        "checkpoint_file": checkpoint_file,
     }
     if extra:
         manifest.update(extra)
@@ -120,11 +132,18 @@ def write_run_manifest(
     runs: list[tuple[str, object]] | None = None,
     *,
     trace_file: str | None = None,
+    checkpoint_file: str | None = None,
     extra: dict | None = None,
 ) -> Path:
     """Write :func:`run_manifest` output as JSON and return the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    manifest = run_manifest(config, runs, trace_file=trace_file, extra=extra)
+    manifest = run_manifest(
+        config,
+        runs,
+        trace_file=trace_file,
+        checkpoint_file=checkpoint_file,
+        extra=extra,
+    )
     path.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
     return path

@@ -8,7 +8,13 @@ accumulates runtime signals the benchmark cares about:
   DP search effort,
 - ``inference.latency_seconds.<estimator>`` — per-sub-plan estimator
   latency histograms,
-- ``benchmark.aborted_queries`` — row-budget / timeout aborts.
+- ``benchmark.aborted_queries`` — row-budget / timeout aborts,
+- ``benchmark.failed_queries`` / ``benchmark.worker_crashes`` —
+  infrastructure failures isolated by the resilience layer (estimator
+  exceptions, planner/executor errors, dead fork workers),
+- ``resilience.fallback_estimates`` and
+  ``resilience.{inference,planning,execution}_retries`` — graceful
+  degradation and retry-policy activity.
 
 Metrics are plain Python objects with no locking: the engine is
 single-process and instrumented call sites record aggregates (one

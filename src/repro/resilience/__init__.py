@@ -1,0 +1,65 @@
+"""Fault tolerance for benchmark campaigns.
+
+The paper's end-to-end evaluation is a long campaign of (estimator,
+query) pairs; this package keeps such campaigns alive through
+estimator exceptions, hung executions, dead fork workers and process
+kills:
+
+- :mod:`~repro.resilience.policy` — declarative retry/backoff and
+  per-execution / per-query / per-campaign timeout policies,
+- :mod:`~repro.resilience.inference` — failure-isolated sub-plan
+  estimation with graceful degradation,
+- :mod:`~repro.resilience.fallback` — PostgreSQL-default estimates
+  injected for failed sub-plans,
+- :mod:`~repro.resilience.checkpoint` — streaming JSONL checkpoints
+  and ``--resume`` support,
+- :mod:`~repro.resilience.faults` — deterministic fault injection used
+  by the tests to prove all of the above.
+
+The checkpoint and inference symbols are loaded lazily (PEP 562):
+those modules import :mod:`repro.core.benchmark`, which itself uses
+this package's policies, so eager imports here would close an import
+cycle.
+"""
+
+from repro.resilience.fallback import PostgresDefaultFallback
+from repro.resilience.policy import (
+    Deadline,
+    RetryPolicy,
+    TimeoutPolicy,
+    call_with_retry,
+)
+
+_LAZY = {
+    "CampaignCheckpoint": ("repro.resilience.checkpoint", "CampaignCheckpoint"),
+    "query_run_from_dict": ("repro.resilience.checkpoint", "query_run_from_dict"),
+    "query_run_to_dict": ("repro.resilience.checkpoint", "query_run_to_dict"),
+    "InferenceOutcome": ("repro.resilience.inference", "InferenceOutcome"),
+    "resilient_sub_plan_estimates": (
+        "repro.resilience.inference",
+        "resilient_sub_plan_estimates",
+    ),
+}
+
+__all__ = [
+    "CampaignCheckpoint",
+    "Deadline",
+    "InferenceOutcome",
+    "PostgresDefaultFallback",
+    "RetryPolicy",
+    "TimeoutPolicy",
+    "call_with_retry",
+    "query_run_from_dict",
+    "query_run_to_dict",
+    "resilient_sub_plan_estimates",
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

@@ -1,0 +1,129 @@
+"""Failure-isolated sub-plan estimation.
+
+The resilient twin of :func:`repro.core.injection.estimate_sub_plans`:
+the per-sub-plan loop, trace span and latency histogram are identical
+on the no-fault path (same estimates, same clamping, same metrics), but
+each individual ``estimator.estimate`` call runs under the campaign's
+:class:`~repro.resilience.policy.RetryPolicy`, and a sub-plan whose
+estimate ultimately fails (or whose per-query deadline has expired) is
+served by the PostgreSQL-default fallback instead of aborting the
+query — the query is then *marked failed* by the benchmark driver, but
+the campaign keeps moving.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.injection import sub_plan_queries
+from repro.engine.query import Query
+from repro.estimators.base import EstimationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.resilience.policy import Deadline, RetryPolicy, call_with_retry
+
+
+@dataclass
+class InferenceOutcome:
+    """Result of one failure-isolated estimation pass."""
+
+    #: per-sub-plan cardinalities (clamped to >= 1), fallbacks included.
+    cards: dict[frozenset[str], float] = field(default_factory=dict)
+    #: sub-plans whose estimator call failed, with the final error text.
+    failures: dict[frozenset[str], str] = field(default_factory=dict)
+    #: total estimate attempts across all sub-plans (== number of
+    #: sub-plans on a retry-free, fault-free pass).
+    attempts: int = 0
+    #: highest attempt count any single sub-plan estimate needed.
+    max_attempts: int = 1
+    #: sub-plans skipped because the per-query deadline expired.
+    deadline_skipped: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures) or self.deadline_skipped > 0
+
+    @property
+    def fallback_count(self) -> int:
+        """Sub-plans served by the fallback (failed + deadline-skipped)."""
+        return len(self.failures) + self.deadline_skipped
+
+    def error_summary(self) -> str | None:
+        """Human-readable first error (plus a count when there are more)."""
+        parts = []
+        if self.failures:
+            subset, error = next(iter(self.failures.items()))
+            label = "+".join(sorted(subset))
+            parts.append(f"inference failed on {label}: {error}")
+            if len(self.failures) > 1:
+                parts.append(f"(+{len(self.failures) - 1} more sub-plans)")
+        if self.deadline_skipped:
+            parts.append(
+                f"{self.deadline_skipped} sub-plan estimates skipped: "
+                "per-query deadline exceeded"
+            )
+        return " ".join(parts) if parts else None
+
+
+def resilient_sub_plan_estimates(
+    estimator,
+    query: Query,
+    *,
+    fallback,
+    retry: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
+) -> InferenceOutcome:
+    """Estimate every sub-plan of ``query``, isolating per-call failures.
+
+    ``fallback`` supplies estimates for failed/skipped sub-plans (any
+    object with ``estimate(query) -> float``; see
+    :class:`~repro.resilience.fallback.PostgresDefaultFallback`).
+    :class:`~repro.estimators.base.EstimationError` is treated as
+    deterministic and never retried.
+    """
+    sub_queries = sub_plan_queries(query)
+    estimator_name = getattr(estimator, "name", type(estimator).__name__)
+    outcome = InferenceOutcome()
+    registry = obs_metrics.registry()
+    with obs_trace.span(
+        "inference", estimator=estimator_name, sub_plans=len(sub_queries)
+    ):
+        histogram = (
+            registry.histogram(f"inference.latency_seconds.{estimator_name}")
+            if obs_trace.is_active()
+            else None
+        )
+        for subset, subquery in sub_queries.items():
+            if deadline is not None and deadline.expired:
+                outcome.deadline_skipped += 1
+                outcome.cards[subset] = max(1.0, float(fallback.estimate(subquery)))
+                registry.counter("resilience.fallback_estimates").inc()
+                continue
+            started = time.perf_counter()
+            try:
+                value, attempts = call_with_retry(
+                    lambda sq=subquery: float(estimator.estimate(sq)),
+                    retry,
+                    non_retryable=(EstimationError,),
+                    deadline=deadline,
+                    on_retry=lambda *_: registry.counter(
+                        "resilience.inference_retries"
+                    ).inc(),
+                )
+            except Exception as exc:
+                attempts = getattr(exc, "attempts", 1)
+                outcome.attempts += attempts
+                outcome.max_attempts = max(outcome.max_attempts, attempts)
+                outcome.failures[subset] = f"{type(exc).__name__}: {exc}"
+                value = float(fallback.estimate(subquery))
+                registry.counter("resilience.fallback_estimates").inc()
+            else:
+                outcome.attempts += attempts
+                outcome.max_attempts = max(outcome.max_attempts, attempts)
+            if histogram is not None:
+                histogram.observe(time.perf_counter() - started)
+            outcome.cards[subset] = max(1.0, value)
+        if obs_trace.is_active():
+            registry.counter("injection.sub_plans_estimated").inc(len(sub_queries))
+    return outcome

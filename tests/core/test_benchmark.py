@@ -109,6 +109,23 @@ class TestPenalties:
         assert set(penalties) == {r.query_name for r in truecard_run.query_runs}
         assert all(value >= 0.5 for value in penalties.values())
 
+    def test_abort_penalty_factor_math(self, truecard_run):
+        """Each penalty is exactly max(baseline_exec * factor, floor)."""
+        factor, floor = 7.0, 0.25
+        penalties = abort_penalties(
+            truecard_run, factor=factor, floor_seconds=floor
+        )
+        for run in truecard_run.query_runs:
+            assert penalties[run.query_name] == pytest.approx(
+                max(run.execution_seconds * factor, floor)
+            )
+
+    def test_floor_dominates_fast_baselines(self, truecard_run):
+        penalties = abort_penalties(
+            truecard_run, factor=0.0, floor_seconds=3.0
+        )
+        assert all(value == 3.0 for value in penalties.values())
+
     def test_penalty_applied_only_to_aborted(self, postgres_run, truecard_run):
         penalties = abort_penalties(truecard_run)
         with_penalty = postgres_run.total_execution_seconds(penalties)
@@ -197,6 +214,49 @@ class TestRepetitionAbortAccounting:
         # The aborted second attempt raised immediately; its elapsed
         # time must not include the slow first repetition.
         assert query_run.execution_seconds < first_rep_seconds / 2
+
+
+class TestFailedVersusAborted:
+    """``failed`` (infrastructure broke) and ``aborted`` (the plan blew
+    its row/time budget) are distinct outcomes that never overlap."""
+
+    def test_abort_is_not_a_failure(self, stats_db, stats_workload):
+        aborting = EndToEndBenchmark(
+            stats_db, stats_workload, max_intermediate_rows=1
+        )
+        estimator = TrueCardEstimator().fit(stats_db)
+        run = aborting.run(estimator, queries=stats_workload.queries[:2])
+        assert run.aborted_count == len(run.query_runs)
+        assert run.failed_count == 0
+        for query_run in run.query_runs:
+            assert query_run.aborted is True
+            assert query_run.failed is False
+            assert query_run.error is None
+
+    def test_executor_error_is_a_failure_not_an_abort(
+        self, stats_db, stats_workload
+    ):
+        bench = EndToEndBenchmark(stats_db, stats_workload)
+
+        def broken_execute(plan, collect_stats=False):
+            raise RuntimeError("executor blew up")
+
+        bench._executor.execute = broken_execute
+        estimator = TrueCardEstimator().fit(stats_db)
+        run = bench.run(estimator, queries=stats_workload.queries[:2])
+        assert run.failed_count == len(run.query_runs)
+        assert run.aborted_count == 0
+        for query_run in run.query_runs:
+            assert query_run.failed is True
+            assert query_run.aborted is False
+            assert "executor blew up" in query_run.error
+
+    def test_no_fault_runs_report_neither(self, postgres_run):
+        for query_run in postgres_run.query_runs:
+            assert query_run.failed is False
+            assert query_run.error is None
+            assert query_run.attempts == 1
+            assert query_run.fallback_estimates == 0
 
 
 class TestCachePolicy:

@@ -80,6 +80,51 @@ class TestPError:
         assert p_error(planner, query, terrible, true_cards) > 1.0
 
 
+class TestPErrorClamp:
+    def test_cost_model_tie_artifact_clamped_to_one(self):
+        """A floating-point tie can make the estimator-induced plan cost
+        epsilon *less* than the true-cardinality plan; the ratio must
+        clamp to 1.0, not report an impossible P-Error below 1."""
+        from types import SimpleNamespace
+
+        class TiePlanner:
+            def __init__(self):
+                self.calls = 0
+                self.cost_model = SimpleNamespace(
+                    plan_cost=lambda plan, cards: (
+                        0.9999999 if plan == "estimated" else 1.0
+                    )
+                )
+
+            def plan(self, query, cards):
+                self.calls += 1
+                return SimpleNamespace(
+                    plan="estimated" if self.calls == 1 else "true"
+                )
+
+        assert p_error(TiePlanner(), None, {}, {}) == 1.0
+
+    def test_genuine_regression_not_clamped(self):
+        from types import SimpleNamespace
+
+        class Regressed:
+            def __init__(self):
+                self.calls = 0
+                self.cost_model = SimpleNamespace(
+                    plan_cost=lambda plan, cards: (
+                        5.0 if plan == "estimated" else 1.0
+                    )
+                )
+
+            def plan(self, query, cards):
+                self.calls += 1
+                return SimpleNamespace(
+                    plan="estimated" if self.calls == 1 else "true"
+                )
+
+        assert p_error(Regressed(), None, {}, {}) == pytest.approx(5.0)
+
+
 class TestHelpers:
     def test_percentiles(self):
         values = list(range(1, 101))
@@ -99,3 +144,31 @@ class TestHelpers:
     def test_rank_correlation_degenerate(self):
         assert np.isnan(rank_correlation([1.0], [1.0]))
         assert np.isnan(rank_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]))
+
+    def test_rank_correlation_old_scipy_result_shape(self, monkeypatch):
+        """Regression: scipy < 1.9 returns a SpearmanrResult exposing
+        ``.correlation`` instead of ``.statistic``; both shapes must
+        work without an AttributeError."""
+        import scipy.stats
+
+        class OldSpearmanrResult:
+            correlation = 0.75  # no .statistic attribute
+
+        monkeypatch.setattr(
+            scipy.stats, "spearmanr", lambda x, y: OldSpearmanrResult()
+        )
+        series = [1.0, 2.0, 3.0, 4.0]
+        assert rank_correlation(series, series) == pytest.approx(0.75)
+
+    def test_rank_correlation_new_scipy_result_shape(self, monkeypatch):
+        import scipy.stats
+
+        class SignificanceResult:
+            statistic = 0.5
+            correlation = None  # scipy >= 1.9 deprecates this spelling
+
+        monkeypatch.setattr(
+            scipy.stats, "spearmanr", lambda x, y: SignificanceResult()
+        )
+        series = [1.0, 2.0, 3.0, 4.0]
+        assert rank_correlation(series, series) == pytest.approx(0.5)

@@ -1,5 +1,9 @@
 """Tests for experiment configuration and the CLI runner plumbing."""
 
+import dataclasses
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.config import ExperimentConfig
@@ -40,6 +44,58 @@ class TestContextPlumbing:
             context.workload("tpch")
 
 
+class TestResilienceWiring:
+    def test_default_config_builds_no_policies(self):
+        context = ExperimentContext()
+        assert context.retry_policy() is None
+        assert context.timeout_policy() is None
+        assert context.campaign_checkpoint() is None
+
+    def test_max_retries_maps_to_attempts(self):
+        config = dataclasses.replace(ExperimentConfig.quick(), max_retries=2)
+        policy = ExperimentContext(config).retry_policy()
+        assert policy.max_attempts == 3
+
+    def test_timeouts_map_to_policy(self):
+        config = dataclasses.replace(
+            ExperimentConfig.quick(),
+            query_timeout_seconds=30.0,
+            campaign_timeout_seconds=600.0,
+        )
+        policy = ExperimentContext(config).timeout_policy()
+        assert policy.per_query_seconds == 30.0
+        assert policy.campaign_seconds == 600.0
+
+    def test_checkpoint_without_resume_truncates(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        path.write_text('{"kind": "header", "schema_version": 1}\nstale-data\n')
+        config = dataclasses.replace(
+            ExperimentConfig.quick(), checkpoint_path=path, resume=False
+        )
+        context = ExperimentContext(config)
+        checkpoint = context.campaign_checkpoint()
+        assert len(checkpoint) == 0
+        assert not path.exists()  # truncated; recreated on first append
+        assert context.campaign_checkpoint() is checkpoint  # cached
+        context.close_checkpoint()
+
+    def test_resume_loads_existing_checkpoint(self, tmp_path):
+        from repro.resilience import CampaignCheckpoint
+
+        from tests.resilience.test_checkpoint import make_run
+
+        path = tmp_path / "campaign.jsonl"
+        with CampaignCheckpoint(path) as checkpoint:
+            checkpoint.append("PostgreSQL", make_run("q1"))
+        config = dataclasses.replace(
+            ExperimentConfig.quick(), checkpoint_path=path, resume=True
+        )
+        context = ExperimentContext(config)
+        checkpoint = context.campaign_checkpoint()
+        assert checkpoint.completed_queries("PostgreSQL") == {"q1"}
+        context.close_checkpoint()
+
+
 class TestRunnerCli:
     def test_experiment_registry_complete(self):
         expected = {f"table{i}" for i in range(1, 8)} | {"figure2", "figure3", "observations"}
@@ -72,3 +128,70 @@ class TestRunnerSave:
         assert main(["--experiment", "table1", "--save", str(tmp_path)]) == 0
         saved = (tmp_path / "table1.txt").read_text()
         assert "SAVED-OUTPUT" in saved
+
+
+class TestRunnerResilienceFlags:
+    def test_flags_reach_the_config(self, monkeypatch, capsys, tmp_path):
+        seen = {}
+
+        def fake(context):
+            seen.update(dataclasses.asdict(context.config))
+            return "OK"
+
+        monkeypatch.setitem(EXPERIMENTS, "table1", fake)
+        checkpoint = tmp_path / "campaign.jsonl"
+        assert (
+            main(
+                [
+                    "--experiment",
+                    "table1",
+                    "--max-retries",
+                    "2",
+                    "--query-timeout",
+                    "45",
+                    "--campaign-timeout",
+                    "900",
+                    "--checkpoint",
+                    str(checkpoint),
+                ]
+            )
+            == 0
+        )
+        assert seen["max_retries"] == 2
+        assert seen["query_timeout_seconds"] == 45.0
+        assert seen["campaign_timeout_seconds"] == 900.0
+        assert seen["checkpoint_path"] == Path(checkpoint)
+        assert seen["resume"] is False
+
+    def test_resume_flag_implies_checkpoint_path(self, monkeypatch, capsys, tmp_path):
+        seen = {}
+
+        def fake(context):
+            seen.update(dataclasses.asdict(context.config))
+            return "OK"
+
+        monkeypatch.setitem(EXPERIMENTS, "table1", fake)
+        checkpoint = tmp_path / "campaign.jsonl"
+        assert main(["--experiment", "table1", "--resume", str(checkpoint)]) == 0
+        assert seen["checkpoint_path"] == Path(checkpoint)
+        assert seen["resume"] is True
+
+    def test_manifest_links_checkpoint_file(self, monkeypatch, capsys, tmp_path):
+        monkeypatch.setitem(EXPERIMENTS, "table1", lambda context: "OK")
+        checkpoint = tmp_path / "campaign.jsonl"
+        manifest = tmp_path / "run_manifest.json"
+        assert (
+            main(
+                [
+                    "--experiment",
+                    "table1",
+                    "--checkpoint",
+                    str(checkpoint),
+                    "--manifest",
+                    str(manifest),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(manifest.read_text())
+        assert payload["checkpoint_file"] == str(checkpoint)

@@ -1,0 +1,101 @@
+"""Tests for the PostgreSQL-default fallback estimator."""
+
+import pytest
+
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+from repro.resilience import PostgresDefaultFallback
+from repro.resilience.fallback import (
+    DEFAULT_EQ_SEL,
+    DEFAULT_INEQ_SEL,
+    DEFAULT_RANGE_SEL,
+    default_clause_selectivity,
+)
+
+
+@pytest.fixture(scope="module")
+def fallback(tiny_db):
+    return PostgresDefaultFallback(tiny_db)
+
+
+def query(tiny_db, tables, predicates=()):
+    edges = tuple(
+        edge
+        for edge in tiny_db.join_graph.edges
+        if edge.left in tables and edge.right in tables
+    )
+    return Query(
+        tables=frozenset(tables),
+        join_edges=edges,
+        predicates=tuple(predicates),
+        name="fb",
+    )
+
+
+class TestClauseSelectivity:
+    def test_equality_uses_eq_sel(self):
+        predicate = Predicate("users", "Reputation", "=", 10)
+        assert default_clause_selectivity(predicate) == pytest.approx(DEFAULT_EQ_SEL)
+
+    def test_one_sided_range_uses_ineq_sel(self):
+        predicate = Predicate("users", "Reputation", ">", 10)
+        assert default_clause_selectivity(predicate) == pytest.approx(
+            DEFAULT_INEQ_SEL
+        )
+
+    def test_selectivity_never_exceeds_one(self):
+        predicate = Predicate("users", "Reputation", "in", tuple(range(500)))
+        assert default_clause_selectivity(predicate) <= 1.0
+
+
+class TestFallbackEstimates:
+    def test_bare_table_estimates_its_row_count(self, tiny_db, fallback):
+        estimate = fallback.estimate(query(tiny_db, {"users"}))
+        assert estimate == pytest.approx(tiny_db.tables["users"].num_rows)
+
+    def test_filter_scales_by_default_selectivity(self, tiny_db, fallback):
+        filtered = fallback.estimate(
+            query(
+                tiny_db,
+                {"users"},
+                [Predicate("users", "Reputation", "=", 10)],
+            )
+        )
+        rows = tiny_db.tables["users"].num_rows
+        assert filtered == pytest.approx(rows * DEFAULT_EQ_SEL, rel=1e-6)
+
+    def test_join_applies_eq_sel_per_edge(self, tiny_db, fallback):
+        joined = fallback.estimate(query(tiny_db, {"users", "posts"}))
+        expected = (
+            tiny_db.tables["users"].num_rows
+            * tiny_db.tables["posts"].num_rows
+            * DEFAULT_EQ_SEL
+        )
+        assert joined == pytest.approx(expected, rel=1e-6)
+
+    def test_estimates_clamped_to_one_row(self, tiny_db):
+        fallback = PostgresDefaultFallback(tiny_db)
+        heavy = query(
+            tiny_db,
+            {"users"},
+            [
+                Predicate("users", "Reputation", "=", value)
+                for value in (1, 2, 3, 4, 5)
+            ],
+        )
+        assert fallback.estimate(heavy) >= 1.0
+
+    def test_needs_no_fitting_and_never_fails(self, tiny_db, fallback):
+        # Unknown tables fall back to one row instead of raising.
+        estimate = fallback.estimate(
+            Query(
+                tables=frozenset({"nonexistent"}),
+                join_edges=(),
+                predicates=(),
+                name="fb",
+            )
+        )
+        assert estimate >= 1.0
+
+    def test_range_sel_constant_matches_postgres(self):
+        assert DEFAULT_RANGE_SEL == 0.005

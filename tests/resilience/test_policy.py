@@ -1,0 +1,160 @@
+"""Tests for retry/timeout policies and deadline arithmetic."""
+
+import random
+
+import pytest
+
+from repro.resilience import Deadline, RetryPolicy, TimeoutPolicy, call_with_retry
+
+
+class TestRetryPolicyBackoff:
+    def test_first_attempt_never_sleeps(self):
+        assert RetryPolicy().backoff_for(1) == 0.0
+
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(
+            backoff_seconds=0.05, backoff_multiplier=2.0, jitter_fraction=0.0
+        )
+        assert policy.backoff_for(2) == pytest.approx(0.05)
+        assert policy.backoff_for(3) == pytest.approx(0.10)
+        assert policy.backoff_for(4) == pytest.approx(0.20)
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(
+            backoff_seconds=1.0,
+            backoff_multiplier=10.0,
+            max_backoff_seconds=2.0,
+            jitter_fraction=0.0,
+        )
+        assert policy.backoff_for(5) == pytest.approx(2.0)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_seconds=1.0, jitter_fraction=0.1)
+        a = policy.backoff_for(2, random.Random(0))
+        b = policy.backoff_for(2, random.Random(0))
+        assert a == b
+        assert 1.0 <= a <= 1.1
+
+    def test_none_is_single_attempt(self):
+        assert RetryPolicy.none().max_attempts == 1
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestCallWithRetry:
+    def test_success_first_try(self):
+        value, attempts = call_with_retry(lambda: 42, RetryPolicy())
+        assert (value, attempts) == (42, 1)
+
+    def test_recovers_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        sleeps = []
+        retries = []
+        value, attempts = call_with_retry(
+            flaky,
+            RetryPolicy(max_attempts=3, backoff_seconds=0.01, jitter_fraction=0.0),
+            sleep=sleeps.append,
+            on_retry=lambda attempt, exc: retries.append(attempt),
+        )
+        assert value == "ok"
+        assert attempts == 3
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+        assert retries == [1, 2]
+
+    def test_exhaustion_reraises_with_attempt_count(self):
+        def broken():
+            raise ValueError("always")
+
+        with pytest.raises(ValueError) as info:
+            call_with_retry(
+                broken, RetryPolicy(max_attempts=3), sleep=lambda _: None
+            )
+        assert info.value.attempts == 3
+
+    def test_non_retryable_short_circuits(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise KeyError("deterministic")
+
+        with pytest.raises(KeyError):
+            call_with_retry(
+                broken,
+                RetryPolicy(max_attempts=5),
+                non_retryable=(KeyError,),
+                sleep=lambda _: None,
+            )
+        assert len(calls) == 1
+
+    def test_none_policy_means_one_attempt(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            call_with_retry(broken, None, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_expired_deadline_stops_retrying(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            call_with_retry(
+                broken,
+                RetryPolicy(max_attempts=5),
+                deadline=Deadline.after(0.0),
+                sleep=lambda _: None,
+            )
+        assert len(calls) == 1
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline.unbounded()
+        assert not deadline.expired
+        assert deadline.remaining() is None
+        assert deadline.tightest(5.0) == 5.0
+        assert deadline.tightest(None) is None
+
+    def test_zero_budget_expires_immediately(self):
+        assert Deadline.after(0.0).expired
+
+    def test_remaining_is_nonnegative(self):
+        assert Deadline.after(0.0).remaining() == 0.0
+        assert Deadline.after(60.0).remaining() > 0.0
+
+    def test_earliest_picks_the_tightest(self):
+        tight = Deadline.after(0.0)
+        loose = Deadline.after(60.0)
+        assert Deadline.earliest(loose, tight, None).expired
+        assert not Deadline.earliest(loose, None).expired
+        assert not Deadline.earliest(None, None).expired
+
+    def test_tightest_combines_with_static_budget(self):
+        deadline = Deadline.after(60.0)
+        assert deadline.tightest(1.0) == pytest.approx(1.0)
+        assert deadline.tightest(None) == pytest.approx(60.0, abs=0.5)
+
+
+class TestTimeoutPolicy:
+    def test_defaults_match_legacy_behaviour(self):
+        policy = TimeoutPolicy()
+        assert policy.execution_seconds == 120.0
+        assert policy.per_query_seconds is None
+        assert policy.campaign_seconds is None

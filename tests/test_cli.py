@@ -9,8 +9,37 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("info", "explain", "run-query", "export-workload", "export-csv"):
+        for command in (
+            "info",
+            "explain",
+            "run-query",
+            "bench",
+            "export-workload",
+            "export-csv",
+        ):
             assert command in text
+
+    def test_bench_resilience_flags(self):
+        args = build_parser().parse_args(
+            [
+                "bench",
+                "--estimator",
+                "PostgreSQL",
+                "--max-retries",
+                "2",
+                "--query-timeout",
+                "30",
+                "--workers",
+                "4",
+                "--resume",
+                "campaign.jsonl",
+            ]
+        )
+        assert args.max_retries == 2
+        assert args.query_timeout == 30.0
+        assert args.workers == 4
+        assert args.resume == "campaign.jsonl"
+        assert args.checkpoint is None
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
