@@ -119,7 +119,9 @@ def cmd_bench(args) -> int:
     import math
     import statistics
 
+    from repro.obs import events as obs_events
     from repro.obs import manifest as obs_manifest
+    from repro.obs import progress as obs_progress
 
     checkpoint_path = args.resume or args.checkpoint
     config = dataclasses.replace(
@@ -134,12 +136,32 @@ def cmd_bench(args) -> int:
     context = ExperimentContext(config)
     workload_name = _workload_for(args.database)
     estimator = context.fitted_estimator(args.estimator, workload_name)
+
+    # Live telemetry: structured events, progress aggregation with an
+    # optional Prometheus snapshot file, and an optional HTTP endpoint.
+    if args.events_out:
+        obs_events.activate(args.events_out, level=args.events_level)
+    live = args.progress_out is not None or args.metrics_addr is not None
+    if live:
+        obs_progress.activate(snapshot_path=args.progress_out)
+    server = (
+        obs_progress.MetricsServer(args.metrics_addr) if args.metrics_addr else None
+    )
+    if server is not None:
+        host, port = server.address
+        print(f"  metrics endpoint:    http://{host}:{port}/metrics")
     try:
         run = context.benchmark(workload_name).run(
             estimator, checkpoint=context.campaign_checkpoint()
         )
     finally:
         context.close_checkpoint()
+        if server is not None:
+            server.close()
+        if live:
+            obs_progress.deactivate()
+        if args.events_out:
+            obs_events.deactivate()
 
     p_errors = [
         query_run.p_error
@@ -163,6 +185,10 @@ def cmd_bench(args) -> int:
             print(f"  FAILED {query_run.query_name}: {query_run.error}")
     if checkpoint_path:
         print(f"  checkpoint:          {checkpoint_path}")
+    if args.events_out:
+        print(f"  events:              {args.events_out}")
+    if args.progress_out:
+        print(f"  progress snapshot:   {args.progress_out}")
     if args.manifest:
         obs_manifest.write_run_manifest(
             args.manifest,
@@ -172,8 +198,56 @@ def cmd_bench(args) -> int:
             },
             [(f"{args.estimator}/{workload_name}", run)],
             checkpoint_file=str(checkpoint_path) if checkpoint_path else None,
+            events_file=str(args.events_out) if args.events_out else None,
         )
         print(f"  manifest:            {args.manifest}")
+    return 0
+
+
+def cmd_blame(args) -> int:
+    """Attribute plan-quality gaps to sub-plan misestimates."""
+    from repro.obs import blame as obs_blame
+
+    context = _context(args)
+    workload_name = _workload_for(args.database)
+    database = context.database(args.database)
+    workload = context.workload(workload_name)
+    estimator = context.fitted_estimator(args.estimator, workload_name)
+    report = obs_blame.blame_workload(
+        database,
+        workload,
+        estimator,
+        analyze=not args.no_analyze,
+        limit=args.limit,
+    )
+    print(obs_blame.render_blame_report(report, top=args.top))
+    if args.out:
+        path = obs_blame.write_blame_json(args.out, report)
+        print(f"\nBlame report JSON: {path}")
+    return 0
+
+
+def cmd_dashboard(args) -> int:
+    """Render the self-contained HTML campaign dashboard."""
+    from repro.obs import dashboard as obs_dashboard
+
+    for label, path in (
+        ("checkpoint", args.checkpoint),
+        ("events", args.events),
+        ("manifest", args.manifest),
+        ("blame", args.blame),
+    ):
+        if path is not None and not Path(path).exists():
+            print(f"warning: {label} file {path} does not exist; skipping")
+    path = obs_dashboard.write_dashboard(
+        args.out,
+        checkpoint_path=args.checkpoint,
+        events_path=args.events,
+        manifest_path=args.manifest,
+        blame_path=args.blame,
+        title=args.title,
+    )
+    print(f"Dashboard: {path}")
     return 0
 
 
@@ -303,7 +377,92 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a run_manifest.json for the campaign",
     )
+    bench.add_argument(
+        "--events-out",
+        metavar="FILE",
+        default=None,
+        help="stream structured campaign events to FILE (JSONL)",
+    )
+    bench.add_argument(
+        "--events-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="minimum severity recorded in --events-out",
+    )
+    bench.add_argument(
+        "--progress-out",
+        metavar="FILE",
+        default=None,
+        help="periodically write a Prometheus-text progress snapshot to FILE",
+    )
+    bench.add_argument(
+        "--metrics-addr",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve /metrics and /progress over HTTP while the campaign runs",
+    )
     bench.set_defaults(handler=cmd_bench)
+
+    blame = commands.add_parser(
+        "blame",
+        help="attribute P-Error / runtime gaps to the worst-misestimated "
+        "sub-plans, per query and rolled up per join template",
+    )
+    blame.add_argument("--database", default="stats", choices=["stats", "imdb"])
+    blame.add_argument(
+        "--estimator",
+        default="PostgreSQL",
+        choices=list(ESTIMATOR_ORDER),
+        help="CardEst method whose misestimates to attribute",
+    )
+    blame.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only blame the first N workload queries",
+    )
+    blame.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="entries per ranking in the text report",
+    )
+    blame.add_argument(
+        "--no-analyze",
+        action="store_true",
+        help="skip plan execution (plan-diff and cardinality attribution only)",
+    )
+    blame.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the full blame report as JSON",
+    )
+    blame.set_defaults(handler=cmd_blame)
+
+    dashboard = commands.add_parser(
+        "dashboard",
+        help="render a self-contained HTML report from campaign artifacts",
+    )
+    dashboard.add_argument(
+        "--checkpoint", metavar="FILE", default=None, help="campaign checkpoint JSONL"
+    )
+    dashboard.add_argument(
+        "--events", metavar="FILE", default=None, help="structured event log JSONL"
+    )
+    dashboard.add_argument(
+        "--manifest", metavar="FILE", default=None, help="run_manifest.json"
+    )
+    dashboard.add_argument(
+        "--blame", metavar="FILE", default=None, help="blame report JSON"
+    )
+    dashboard.add_argument(
+        "--title", default="repro campaign dashboard", help="page title"
+    )
+    dashboard.add_argument("--out", required=True, metavar="FILE")
+    dashboard.set_defaults(handler=cmd_dashboard)
 
     export_data = commands.add_parser(
         "export-csv", help="dump a benchmark database as CSV files"

@@ -43,7 +43,9 @@ from repro.engine.plans import join_order_signature, plan_methods
 from repro.engine.query import LabeledQuery
 from repro.estimators.base import CardinalityEstimator
 from repro.estimators.truecard import TrueCardEstimator
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs import progress as obs_progress
 from repro.obs import trace as obs_trace
 from repro.resilience.fallback import PostgresDefaultFallback
 from repro.resilience.policy import (
@@ -331,36 +333,76 @@ class EndToEndBenchmark:
             else:
                 fresh.append((index, labeled))
 
-        def complete(index: int, labeled: LabeledQuery, run: QueryRun) -> None:
-            slots[index] = run
-            if checkpoint is not None and not _deadline_skip(run):
-                checkpoint.append(estimator.name, run)
-
-        if workers > 1 and len(fresh) > 1 and fork_available():
-            fresh_queries = [labeled for _, labeled in fresh]
-            runs = run_parallel(
-                self,
-                estimator,
-                fresh_queries,
-                workers,
-                campaign_deadline=campaign_deadline,
-                max_crash_retries=self._max_crash_retries,
-                on_complete=lambda position, run: complete(
-                    fresh[position][0], fresh[position][1], run
-                ),
+        obs_progress.begin_campaign(
+            total=len(run_queries),
+            estimator=estimator.name,
+            workload=self.workload.name,
+        )
+        with obs_events.context(
+            estimator=estimator.name, workload=self.workload.name
+        ):
+            obs_events.emit(
+                "campaign.begin",
+                total=len(run_queries),
+                resumed=len(run_queries) - len(fresh),
+                workers=workers,
             )
-            for (index, labeled), run in zip(fresh, runs):
-                if slots[index] is None:
-                    slots[index] = run
-        else:
-            for index, labeled in fresh:
-                if campaign_deadline.expired:
-                    run = _campaign_deadline_run(labeled)
-                    obs_metrics.registry().counter("benchmark.failed_queries").inc()
-                else:
-                    run = self._run_query(estimator, labeled, campaign_deadline)
-                complete(index, labeled, run)
-        result.query_runs.extend(slots)
+            # Checkpoint-spliced pairs count toward live progress so a
+            # resumed campaign's view starts where the last one stopped.
+            for index, run in enumerate(slots):
+                if run is not None:
+                    obs_progress.record_result(run, index=index)
+
+            def complete(index: int, labeled: LabeledQuery, run: QueryRun) -> None:
+                slots[index] = run
+                if checkpoint is not None and not _deadline_skip(run):
+                    checkpoint.append(estimator.name, run)
+                obs_progress.record_result(run, index=index)
+                obs_events.emit(
+                    "query.completed",
+                    level="warning" if run.failed else "info",
+                    query=run.query_name,
+                    failed=run.failed,
+                    aborted=run.aborted,
+                    seconds=round(run.end_to_end_seconds, 6),
+                    attempts=run.attempts,
+                    error=run.error,
+                )
+
+            if workers > 1 and len(fresh) > 1 and fork_available():
+                fresh_queries = [labeled for _, labeled in fresh]
+                runs = run_parallel(
+                    self,
+                    estimator,
+                    fresh_queries,
+                    workers,
+                    campaign_deadline=campaign_deadline,
+                    max_crash_retries=self._max_crash_retries,
+                    on_complete=lambda position, run: complete(
+                        fresh[position][0], fresh[position][1], run
+                    ),
+                )
+                for (index, labeled), run in zip(fresh, runs):
+                    if slots[index] is None:
+                        slots[index] = run
+            else:
+                for index, labeled in fresh:
+                    if campaign_deadline.expired:
+                        run = _campaign_deadline_run(labeled)
+                        obs_metrics.registry().counter(
+                            "benchmark.failed_queries"
+                        ).inc()
+                    else:
+                        run = self._run_query(estimator, labeled, campaign_deadline)
+                    complete(index, labeled, run)
+            result.query_runs.extend(slots)
+            obs_events.emit(
+                "campaign.end",
+                total=len(run_queries),
+                failed=result.failed_count,
+                aborted=result.aborted_count,
+            )
+        obs_progress.end_campaign()
         return result
 
     def _run_query(
@@ -401,8 +443,9 @@ class EndToEndBenchmark:
 
         with obs_trace.span(
             "query", name=query.name, estimator=estimator.name
-        ) as query_span:
+        ) as query_span, obs_events.context(query=query.name):
             trace_id = getattr(query_span, "span_id", None)
+            obs_events.emit("query.start", num_tables=query.num_tables)
 
             # The ``inference`` child span is opened inside the
             # resilient estimation pass, next to the per-sub-plan

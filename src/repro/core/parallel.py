@@ -52,7 +52,9 @@ import os
 import sys
 from multiprocessing import connection as mp_connection
 
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs import progress as obs_progress
 from repro.obs import trace as obs_trace
 
 #: Parent-side state inherited by forked workers.  Set immediately
@@ -84,28 +86,36 @@ def default_workers() -> int:
 def _worker_init() -> None:
     # Tracing is process-local: spans recorded in a forked worker
     # would be lost (and cost time), so switch any inherited tracer
-    # off and start from a clean metrics slate.
+    # off and start from a clean metrics slate.  The event log and the
+    # progress tracker are parent-side too: drop the inherited log
+    # *without closing it* (the fd belongs to the parent) so the parent
+    # stays the file's only writer and emits completion events from the
+    # streamed worker messages instead.
     obs_trace.deactivate()
+    obs_events.deactivate(close=False)
+    obs_progress.deactivate()
     obs_metrics.reset()
 
 
 def _worker_loop(task_queue, result_pipe) -> None:
     """Worker main: claim an index, run it, ship the result.
 
-    The ``("start", index)`` claim is sent synchronously over the pipe
-    before the query runs — it is what lets the parent requeue the
-    right query when this process dies mid-task.  An exception escaping
-    ``_run_query`` (which already isolates ordinary per-query failures)
-    is shipped as an ``("error", ...)`` message so one broken task
-    cannot take the whole run down.
+    The ``("start", index, pid)`` claim is sent synchronously over the
+    pipe before the query runs — it is what lets the parent requeue the
+    right query when this process dies mid-task, and it doubles as the
+    worker's heartbeat for the live progress view.  An exception
+    escaping ``_run_query`` (which already isolates ordinary per-query
+    failures) is shipped as an ``("error", ...)`` message so one broken
+    task cannot take the whole run down.
     """
     _worker_init()
     benchmark, estimator, queries = _FORK_STATE
+    pid = os.getpid()
     while True:
         index = task_queue.get()
         if index is None:  # sentinel: run is over
             break
-        result_pipe.send(("start", index))
+        result_pipe.send(("start", index, pid))
         obs_metrics.reset()
         try:
             run = benchmark._run_query(estimator, queries[index])
@@ -191,7 +201,16 @@ def run_parallel(
             if crashed_mid_query:
                 registry.counter("benchmark.worker_crashes").inc()
                 crash_counts[index] = crash_counts.get(index, 0) + 1
-                if crash_counts[index] <= max_crash_retries:
+                requeued = crash_counts[index] <= max_crash_retries
+                obs_events.emit(
+                    "worker.crashed",
+                    level="warning",
+                    worker=process.pid,
+                    exit_code=process.exitcode,
+                    query=queries[index].query.name,
+                    requeued=requeued,
+                )
+                if requeued:
                     task_queue.put(index)
                 else:
                     finish(
@@ -220,8 +239,18 @@ def run_parallel(
                     reap_worker(reader)
                     continue
                 kind = message[0]
+                worker_pid = processes[reader].pid
+                obs_progress.heartbeat(worker_pid)
                 if kind == "start":
-                    claimed[reader] = message[1]
+                    index = message[1]
+                    claimed[reader] = index
+                    obs_progress.record_claim(index, worker=worker_pid)
+                    obs_events.emit(
+                        "query.claimed",
+                        level="debug",
+                        query=queries[index].query.name,
+                        worker=message[2] if len(message) > 2 else worker_pid,
+                    )
                 elif kind == "done":
                     _, index, run, dump = message
                     claimed.pop(reader, None)

@@ -81,6 +81,15 @@ class LRUByteCache:
         self._hits_name = f"{metric_prefix}.hits"
         self._misses_name = f"{metric_prefix}.misses"
         self._evictions_name = f"{metric_prefix}.evictions"
+        # Materialize the counters and the footprint gauge immediately
+        # so cache behaviour is visible (at zero) in every metrics
+        # snapshot, dump and Prometheus export — not only after the
+        # first hit or eviction happens to touch them.
+        registry = obs_metrics.registry()
+        registry.counter(self._hits_name)
+        registry.counter(self._misses_name)
+        registry.counter(self._evictions_name)
+        registry.gauge(f"{metric_prefix}.bytes")
 
     def __len__(self) -> int:
         return len(self._entries)

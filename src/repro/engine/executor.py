@@ -50,6 +50,7 @@ from repro.engine.plans import (
     ScanNode,
 )
 from repro.engine.predicates import Predicate, conjunction_mask
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
@@ -77,6 +78,26 @@ class NodeRuntimeStats:
     rows_out: int
     elapsed_seconds: float
     rows_in: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (tables sorted, tuples as lists)."""
+        return {
+            "tables": sorted(self.tables),
+            "method": self.method,
+            "rows_out": int(self.rows_out),
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "rows_in": [int(n) for n in self.rows_in],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NodeRuntimeStats":
+        return cls(
+            tables=frozenset(payload["tables"]),
+            method=payload["method"],
+            rows_out=int(payload["rows_out"]),
+            elapsed_seconds=float(payload["elapsed_seconds"]),
+            rows_in=tuple(int(n) for n in payload.get("rows_in", ())),
+        )
 
 
 @dataclass
@@ -136,11 +157,26 @@ class Executor:
         if collect_stats or obs_trace.is_active():
             try:
                 rows = self._run_instrumented(plan, node_rows, node_stats, deadline)
-            except ExecutionAborted:
+            except ExecutionAborted as exc:
                 obs_metrics.registry().counter("executor.aborts").inc()
+                obs_events.emit(
+                    "executor.aborted",
+                    level="warning",
+                    tables=sorted(plan.tables),
+                    reason=str(exc),
+                )
                 raise
         else:
-            rows = self._run(plan, node_rows, deadline)
+            try:
+                rows = self._run(plan, node_rows, deadline)
+            except ExecutionAborted as exc:
+                obs_events.emit(
+                    "executor.aborted",
+                    level="warning",
+                    tables=sorted(plan.tables),
+                    reason=str(exc),
+                )
+                raise
         cardinality = self._cardinality(rows)
         return ExecutionResult(
             cardinality=cardinality,

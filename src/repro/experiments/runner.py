@@ -39,6 +39,7 @@ from repro.experiments import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
+from repro.obs import events as obs_events
 from repro.obs import manifest as obs_manifest
 from repro.obs import trace as obs_trace
 
@@ -143,6 +144,12 @@ def main(argv=None) -> int:
         help="write a run_manifest.json (config, timings, metrics); "
         "defaults to DIR/run_manifest.json when --save is given",
     )
+    parser.add_argument(
+        "--events-out",
+        metavar="FILE",
+        default=None,
+        help="stream structured campaign events (JSONL) while experiments run",
+    )
     args = parser.parse_args(argv)
 
     checkpoint_path = args.resume or args.checkpoint
@@ -171,6 +178,7 @@ def main(argv=None) -> int:
         manifest_path = Path(args.trace_out).with_name("run_manifest.json")
 
     tracer = obs_trace.activate() if args.trace_out else None
+    event_log = obs_events.activate(args.events_out) if args.events_out else None
     if manifest_path is not None:
         obs_manifest.enable_collection()
 
@@ -178,10 +186,14 @@ def main(argv=None) -> int:
     try:
         for name, experiment in selected.items():
             started = time.perf_counter()
+            obs_events.emit("experiment.begin", experiment=name)
             with obs_trace.span("experiment", name=name):
                 output = experiment(context)
             elapsed = time.perf_counter() - started
             experiment_timings[name] = elapsed
+            obs_events.emit(
+                "experiment.end", experiment=name, seconds=round(elapsed, 3)
+            )
             print(output)
             print(f"\n[{name} finished in {elapsed:.1f}s]\n")
             if save_dir is not None:
@@ -192,6 +204,9 @@ def main(argv=None) -> int:
             obs_trace.deactivate()
             tracer.export_jsonl(args.trace_out)
             print(f"[trace: {len(tracer.spans)} spans -> {args.trace_out}]")
+        if event_log is not None:
+            obs_events.deactivate()
+            print(f"[events: {event_log.count} -> {args.events_out}]")
         if manifest_path is not None:
             config = {
                 key: str(value) if isinstance(value, Path) else value
@@ -202,6 +217,7 @@ def main(argv=None) -> int:
                 config,
                 trace_file=args.trace_out,
                 checkpoint_file=str(checkpoint_path) if checkpoint_path else None,
+                events_file=args.events_out,
                 extra={"experiment_timings_seconds": experiment_timings},
             )
             obs_manifest.disable_collection()

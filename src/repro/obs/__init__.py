@@ -1,15 +1,23 @@
-"""Observability: tracing, metrics and run manifests (``repro.obs``).
+"""Observability: tracing, metrics, events, live progress (``repro.obs``).
 
 Dependency-free instrumentation for the benchmark platform:
 
 - :mod:`repro.obs.trace` — hierarchical spans with a JSONL exporter,
 - :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms,
+- :mod:`repro.obs.events` — leveled, run-scoped JSONL structured events,
+- :mod:`repro.obs.progress` — live campaign progress, Prometheus-text
+  export and an optional stdlib HTTP ``/metrics`` + ``/progress``
+  endpoint,
+- :mod:`repro.obs.blame` — misestimation attribution: which sub-plan
+  estimates caused a bad plan,
+- :mod:`repro.obs.dashboard` — self-contained HTML campaign report,
 - :mod:`repro.obs.manifest` — machine-readable ``run_manifest.json``,
 - :mod:`repro.obs.overhead` — self-measurement of instrumentation cost.
 
-Tracing is **off by default**: :func:`repro.obs.trace.span` is a shared
-no-op until a tracer is activated, so instrumented hot paths cost one
-global read when disabled.
+Everything is **off by default**: :func:`repro.obs.trace.span`,
+:func:`repro.obs.events.emit` and the progress hooks are shared no-ops
+until activated, so instrumented hot paths cost one global read when
+disabled.
 """
 
 from repro.obs.metrics import MetricsRegistry, registry

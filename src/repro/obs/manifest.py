@@ -25,7 +25,14 @@ from pathlib import Path
 
 from repro.obs import metrics
 
-MANIFEST_SCHEMA_VERSION = 1
+#: Version 2 adds the ``events_file`` link and guarantees sorted JSON
+#: keys; readers (dashboard, blame tooling) use :func:`load_run_manifest`
+#: to reject artifacts written by incompatible revisions.
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Versions current readers can still interpret (v1 lacked
+#: ``events_file`` and key ordering, both of which readers tolerate).
+_COMPATIBLE_SCHEMA_VERSIONS = (1, 2)
 
 #: Session accumulator: (label, EstimatorRun) pairs noted while
 #: collection is enabled.  Duck-typed to avoid a core -> obs -> core
@@ -101,14 +108,15 @@ def run_manifest(
     *,
     trace_file: str | None = None,
     checkpoint_file: str | None = None,
+    events_file: str | None = None,
     extra: dict | None = None,
 ) -> dict:
     """Assemble a manifest dict from config + runs + current metrics.
 
     ``runs`` defaults to whatever the module collector accumulated.
     ``checkpoint_file`` links the campaign's resilience checkpoint
-    (JSONL of completed QueryRuns) the way ``trace_file`` links the
-    span tree.
+    (JSONL of completed QueryRuns) and ``events_file`` the structured
+    event log, the way ``trace_file`` links the span tree.
     """
     if runs is None:
         runs = collected_runs()
@@ -120,6 +128,7 @@ def run_manifest(
         "metrics": metrics.snapshot(),
         "trace_file": trace_file,
         "checkpoint_file": checkpoint_file,
+        "events_file": events_file,
     }
     if extra:
         manifest.update(extra)
@@ -133,9 +142,14 @@ def write_run_manifest(
     *,
     trace_file: str | None = None,
     checkpoint_file: str | None = None,
+    events_file: str | None = None,
     extra: dict | None = None,
 ) -> Path:
-    """Write :func:`run_manifest` output as JSON and return the path."""
+    """Write :func:`run_manifest` output as JSON and return the path.
+
+    Keys are sorted so two manifests of the same campaign are
+    byte-comparable (dict iteration order never leaks into artifacts).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     manifest = run_manifest(
@@ -143,7 +157,25 @@ def write_run_manifest(
         runs,
         trace_file=trace_file,
         checkpoint_file=checkpoint_file,
+        events_file=events_file,
         extra=extra,
     )
-    path.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n")
     return path
+
+
+def load_run_manifest(path: str | Path) -> dict:
+    """Read a manifest back, rejecting incompatible schema versions.
+
+    The dashboard and blame tooling load artifacts through this
+    function so a manifest written by a future (or corrupted) revision
+    fails loudly instead of being half-interpreted.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version not in _COMPATIBLE_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"{path}: manifest schema {version!r} is not supported "
+            f"(compatible: {list(_COMPATIBLE_SCHEMA_VERSIONS)})"
+        )
+    return payload

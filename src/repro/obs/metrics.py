@@ -145,20 +145,23 @@ class MetricsRegistry:
         Unlike :meth:`snapshot` (a human/JSON summary), a dump can be
         merged into another registry without losing information — the
         transport format for per-worker metrics in multi-process
-        benchmark runs.
+        benchmark runs.  Keys are sorted so dumps (and anything
+        serialized from them) are deterministic and diff cleanly.
         """
         return {
-            "counters": {name: c.value for name, c in self._counters.items()},
-            "gauges": {name: g.value for name, g in self._gauges.items()},
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {name: self._gauges[name].value for name in sorted(self._gauges)},
             "histograms": {
                 name: {
-                    "count": h.count,
-                    "total": h.total,
-                    "minimum": h.minimum,
-                    "maximum": h.maximum,
-                    "samples": list(h.samples),
+                    "count": self._histograms[name].count,
+                    "total": self._histograms[name].total,
+                    "minimum": self._histograms[name].minimum,
+                    "maximum": self._histograms[name].maximum,
+                    "samples": list(self._histograms[name].samples),
                 }
-                for name, h in self._histograms.items()
+                for name in sorted(self._histograms)
             },
         }
 

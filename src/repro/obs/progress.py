@@ -1,0 +1,415 @@
+"""Live campaign progress: aggregation, Prometheus export, HTTP endpoint.
+
+Long benchmark campaigns used to run dark: the only signals were the
+final report and (since the resilience PR) the checkpoint file.  This
+module is the live view.  A :class:`ProgressTracker` aggregates the
+per-query completion stream — from the serial driver directly, or from
+the Pipe messages forked workers already send — into done / failed /
+aborted counts, throughput and an ETA, and periodically materializes
+two read-side artifacts:
+
+- a **Prometheus text-format snapshot file** (:class:`SnapshotWriter`,
+  atomic ``os.replace`` so scrapers never see a torn file), and
+- an optional **stdlib HTTP endpoint** (:class:`MetricsServer`) serving
+  ``/metrics`` (Prometheus exposition text, campaign gauges plus the
+  whole :mod:`repro.obs.metrics` registry) and ``/progress`` (JSON).
+
+Like the tracer and the event log, the module-level hooks
+(:func:`record_claim` / :func:`record_result` / …) are no-ops until
+:func:`activate` installs a tracker, so instrumented call sites cost a
+single global read on untelemetered runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.obs import metrics as obs_metrics
+
+#: Completions kept for the recent-throughput window.
+_RECENT_WINDOW = 32
+
+
+class ProgressTracker:
+    """Aggregated live state of one benchmark campaign."""
+
+    def __init__(
+        self,
+        total: int = 0,
+        estimator: str = "",
+        workload: str = "",
+        clock=time.monotonic,
+    ):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.begin(total, estimator=estimator, workload=workload)
+
+    def begin(self, total: int, estimator: str = "", workload: str = "") -> None:
+        """Reset for a new campaign of ``total`` queries."""
+        with self._lock:
+            self.total = int(total)
+            self.estimator = estimator
+            self.workload = workload
+            self.done = 0
+            self.failed = 0
+            self.aborted = 0
+            self.started = self._clock()
+            self._recent: deque[float] = deque(maxlen=_RECENT_WINDOW)
+            self._in_flight: set[int] = set()
+            self._workers: dict[int, float] = {}
+
+    # -- update hooks ------------------------------------------------------
+
+    def record_claim(self, index: int, worker: int | None = None) -> None:
+        """A query was claimed (is now in flight)."""
+        with self._lock:
+            self._in_flight.add(index)
+            if worker is not None:
+                self._workers[worker] = self._clock()
+
+    def heartbeat(self, worker: int) -> None:
+        """A worker proved liveness (any message counts)."""
+        with self._lock:
+            self._workers[worker] = self._clock()
+
+    def record_result(self, run, index: int | None = None) -> None:
+        """One query finished; classify from the run's outcome flags."""
+        with self._lock:
+            self.done += 1
+            if getattr(run, "failed", False):
+                self.failed += 1
+            elif getattr(run, "aborted", False):
+                self.aborted += 1
+            self._recent.append(self._clock())
+            if index is not None:
+                self._in_flight.discard(index)
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.done)
+
+    def elapsed_seconds(self) -> float:
+        return max(0.0, self._clock() - self.started)
+
+    def throughput_qps(self) -> float:
+        """Recent completions per second (falls back to overall rate)."""
+        elapsed = self.elapsed_seconds()
+        if len(self._recent) >= 2:
+            span = self._recent[-1] - self._recent[0]
+            if span > 0:
+                return (len(self._recent) - 1) / span
+        if self.done and elapsed > 0:
+            return self.done / elapsed
+        return 0.0
+
+    def eta_seconds(self) -> float | None:
+        """Projected seconds to completion, or None before any signal."""
+        rate = self.throughput_qps()
+        if rate <= 0:
+            return None
+        return self.remaining / rate
+
+    def stale_workers(self, max_silence_seconds: float) -> list[int]:
+        """Workers silent for longer than ``max_silence_seconds``."""
+        now = self._clock()
+        return sorted(
+            worker
+            for worker, seen in self._workers.items()
+            if now - seen > max_silence_seconds
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-serializable live view (the ``/progress`` payload)."""
+        with self._lock:
+            now = self._clock()
+            eta = self.eta_seconds()
+            return {
+                "estimator": self.estimator,
+                "workload": self.workload,
+                "total": self.total,
+                "done": self.done,
+                "failed": self.failed,
+                "aborted": self.aborted,
+                "remaining": self.remaining,
+                "in_flight": sorted(self._in_flight),
+                "elapsed_seconds": self.elapsed_seconds(),
+                "throughput_qps": self.throughput_qps(),
+                "eta_seconds": eta,
+                "workers": {
+                    str(worker): round(now - seen, 3)
+                    for worker, seen in sorted(self._workers.items())
+                },
+            }
+
+    def render(self) -> str:
+        """One-line human progress view."""
+        view = self.snapshot()
+        parts = [f"{view['done']}/{view['total']} done"]
+        if view["failed"] or view["aborted"]:
+            parts.append(f"{view['failed']} failed, {view['aborted']} aborted")
+        parts.append(f"{view['throughput_qps']:.2f} q/s")
+        eta = view["eta_seconds"]
+        if eta is not None:
+            parts.append(f"ETA {eta:.0f}s")
+        label = f"{view['estimator']}/{view['workload']}".strip("/")
+        prefix = f"[{label}] " if label else ""
+        return prefix + " | ".join(parts)
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """Registry name -> valid Prometheus metric name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(
+    registry: obs_metrics.MetricsRegistry | None = None,
+    tracker: ProgressTracker | None = None,
+) -> str:
+    """Render campaign progress + the metrics registry as Prometheus text.
+
+    Counters map to ``counter``, gauges to ``gauge``; histograms are
+    exported summary-style (``_count`` / ``_sum`` plus quantile lines).
+    Output is sorted by metric name, so snapshots diff cleanly.
+    """
+    registry = registry if registry is not None else obs_metrics.registry()
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+
+    if tracker is not None:
+        view = tracker.snapshot()
+        campaign = [
+            ("campaign_queries_total", view["total"]),
+            ("campaign_queries_done", view["done"]),
+            ("campaign_queries_failed", view["failed"]),
+            ("campaign_queries_aborted", view["aborted"]),
+            ("campaign_queries_in_flight", len(view["in_flight"])),
+            ("campaign_elapsed_seconds", view["elapsed_seconds"]),
+            ("campaign_throughput_qps", view["throughput_qps"]),
+            ("campaign_workers_alive", len(view["workers"])),
+        ]
+        if view["eta_seconds"] is not None:
+            campaign.append(("campaign_eta_seconds", view["eta_seconds"]))
+        for name, value in campaign:
+            full = f"repro_{name}"
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {_prom_value(value)}")
+
+    for name in sorted(snapshot["counters"]):
+        full = _prom_name(name)
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {_prom_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot["gauges"]):
+        full = _prom_name(name)
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {_prom_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot["histograms"]):
+        summary = snapshot["histograms"][name]
+        full = _prom_name(name)
+        lines.append(f"# TYPE {full} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            if key in summary:
+                value = _prom_value(summary[key])
+                lines.append(f'{full}{{quantile="{quantile}"}} {value}')
+        lines.append(f"{full}_count {_prom_value(summary.get('count', 0))}")
+        lines.append(f"{full}_sum {_prom_value(summary.get('sum', 0.0))}")
+    return "\n".join(lines) + "\n"
+
+
+class SnapshotWriter:
+    """Throttled, atomic writer of Prometheus snapshot files.
+
+    ``maybe_write`` is called from the completion hot loop, so it
+    rate-limits itself to one write per ``interval_seconds`` unless
+    forced; writes go through a temp file + ``os.replace`` so a scraper
+    (or a kill signal) can never observe a half-written snapshot.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        interval_seconds: float = 1.0,
+        clock=time.monotonic,
+    ):
+        self.path = Path(path)
+        self.interval_seconds = interval_seconds
+        self._clock = clock
+        self._last_write: float | None = None
+        self.writes = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def maybe_write(self, tracker: ProgressTracker | None, force: bool = False) -> bool:
+        now = self._clock()
+        if (
+            not force
+            and self._last_write is not None
+            and now - self._last_write < self.interval_seconds
+        ):
+            return False
+        text = prometheus_text(tracker=tracker)
+        temp = self.path.with_name(self.path.name + ".tmp")
+        temp.write_text(text)
+        os.replace(temp, self.path)
+        self._last_write = now
+        self.writes += 1
+        return True
+
+
+# -- HTTP endpoint ------------------------------------------------------------
+
+
+class MetricsServer:
+    """Stdlib HTTP server exposing ``/metrics`` and ``/progress``.
+
+    Runs on a daemon thread; ``address`` reports the bound (host, port)
+    so callers (and tests) can pass port 0.  Never required for a
+    campaign — the snapshot file covers scrape-from-disk setups.
+    """
+
+    def __init__(self, addr: str = "127.0.0.1:9464"):
+        host, _, port_text = addr.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"--metrics-addr expects HOST:PORT or :PORT, got {addr!r}"
+            ) from None
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(handler) -> None:  # noqa: N805 — stdlib handler idiom
+                if handler.path.rstrip("/") in ("", "/metrics".rstrip("/")):
+                    body = prometheus_text(tracker=active_tracker()).encode()
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                elif handler.path.rstrip("/") == "/progress":
+                    tracker = active_tracker()
+                    payload = tracker.snapshot() if tracker is not None else {}
+                    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+                    content_type = "application/json"
+                else:
+                    handler.send_error(404)
+                    return
+                handler.send_response(200)
+                handler.send_header("Content-Type", content_type)
+                handler.send_header("Content-Length", str(len(body)))
+                handler.end_headers()
+                handler.wfile.write(body)
+
+            def log_message(handler, *args) -> None:  # noqa: N805
+                pass  # scrapes poll; keep stderr clean
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+# -- module-level live view ---------------------------------------------------
+
+_TRACKER: ProgressTracker | None = None
+_WRITER: SnapshotWriter | None = None
+
+
+def active_tracker() -> ProgressTracker | None:
+    return _TRACKER
+
+
+def is_active() -> bool:
+    return _TRACKER is not None
+
+
+def activate(
+    tracker: ProgressTracker | None = None,
+    snapshot_path: str | Path | None = None,
+    snapshot_interval_seconds: float = 1.0,
+) -> ProgressTracker:
+    """Install a tracker (and optionally a snapshot file) process-wide."""
+    global _TRACKER, _WRITER
+    _TRACKER = tracker or ProgressTracker()
+    _WRITER = (
+        SnapshotWriter(snapshot_path, interval_seconds=snapshot_interval_seconds)
+        if snapshot_path is not None
+        else None
+    )
+    return _TRACKER
+
+
+def deactivate() -> None:
+    global _TRACKER, _WRITER
+    _TRACKER = None
+    _WRITER = None
+
+
+def begin_campaign(total: int, estimator: str = "", workload: str = "") -> None:
+    """Reset the live view for a new campaign; no-op when inactive."""
+    tracker = _TRACKER
+    if tracker is None:
+        return
+    tracker.begin(total, estimator=estimator, workload=workload)
+    if _WRITER is not None:
+        _WRITER.maybe_write(tracker, force=True)
+
+
+def record_claim(index: int, worker: int | None = None) -> None:
+    tracker = _TRACKER
+    if tracker is None:
+        return
+    tracker.record_claim(index, worker=worker)
+    if _WRITER is not None:
+        _WRITER.maybe_write(tracker)
+
+
+def heartbeat(worker: int) -> None:
+    tracker = _TRACKER
+    if tracker is not None:
+        tracker.heartbeat(worker)
+
+
+def record_result(run, index: int | None = None) -> None:
+    tracker = _TRACKER
+    if tracker is None:
+        return
+    tracker.record_result(run, index=index)
+    if _WRITER is not None:
+        _WRITER.maybe_write(tracker)
+
+
+def end_campaign() -> None:
+    """Force a final snapshot so the file reflects the terminal state."""
+    if _WRITER is not None and _TRACKER is not None:
+        _WRITER.maybe_write(_TRACKER, force=True)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.core.injection import sub_plan_queries
 from repro.engine.query import Query
 from repro.estimators.base import EstimationError
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.resilience.policy import Deadline, RetryPolicy, call_with_retry
@@ -99,6 +100,12 @@ def resilient_sub_plan_estimates(
                 outcome.deadline_skipped += 1
                 outcome.cards[subset] = max(1.0, float(fallback.estimate(subquery)))
                 registry.counter("resilience.fallback_estimates").inc()
+                obs_events.emit(
+                    "inference.fallback",
+                    level="warning",
+                    tables=sorted(subset),
+                    reason="per-query deadline exceeded",
+                )
                 continue
             started = time.perf_counter()
             try:
@@ -118,6 +125,12 @@ def resilient_sub_plan_estimates(
                 outcome.failures[subset] = f"{type(exc).__name__}: {exc}"
                 value = float(fallback.estimate(subquery))
                 registry.counter("resilience.fallback_estimates").inc()
+                obs_events.emit(
+                    "inference.fallback",
+                    level="warning",
+                    tables=sorted(subset),
+                    reason=outcome.failures[subset],
+                )
             else:
                 outcome.attempts += attempts
                 outcome.max_attempts = max(outcome.max_attempts, attempts)

@@ -23,6 +23,9 @@ import random
 import time
 from dataclasses import dataclass
 
+from repro.obs import events as obs_events
+from repro.obs import trace as obs_trace
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -154,6 +157,12 @@ def call_with_retry(
     re-raised with an ``attempts`` attribute set, so callers report how
     hard the call was tried.  ``on_retry(attempt, exc)`` is invoked
     before each backoff sleep (metrics hook).
+
+    When a tracer is active, every attempt past the first runs inside a
+    child ``retry`` span carrying ``attempt`` and the ``backoff_seconds``
+    slept before it, so retried calls stay connected to their query in
+    ``repro trace`` output.  The first attempt takes the historical,
+    span-free path.
     """
     attempts_allowed = 1 if policy is None else policy.max_attempts
     rng = (
@@ -162,10 +171,18 @@ def call_with_retry(
         else None
     )
     attempt = 0
+    backoff_slept = 0.0
     while True:
         attempt += 1
         try:
-            return fn(), attempt
+            if attempt == 1:
+                return fn(), attempt
+            with obs_trace.span(
+                "retry",
+                attempt=attempt,
+                backoff_seconds=round(backoff_slept, 6),
+            ):
+                return fn(), attempt
         except Exception as exc:
             retryable = not isinstance(exc, non_retryable)
             out_of_budget = deadline is not None and deadline.expired
@@ -175,9 +192,17 @@ def call_with_retry(
             if on_retry is not None:
                 on_retry(attempt, exc)
             pause = policy.backoff_for(attempt + 1, rng)
+            if pause > 0 and deadline is not None:
+                budget = deadline.remaining()
+                if budget is not None:
+                    pause = min(pause, budget)
+            obs_events.emit(
+                "retry",
+                level="warning",
+                attempt=attempt + 1,
+                backoff_seconds=round(pause, 6),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            backoff_slept = pause
             if pause > 0:
-                if deadline is not None:
-                    budget = deadline.remaining()
-                    if budget is not None:
-                        pause = min(pause, budget)
                 sleep(pause)

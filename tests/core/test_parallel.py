@@ -84,6 +84,53 @@ class TestMetricsMerge:
         obs_metrics.reset()
 
 
+@needs_fork
+class TestLiveTelemetryStreaming:
+    """Workers stream per-query completions; the parent owns telemetry."""
+
+    def test_parallel_campaign_feeds_events_and_progress(
+        self, tmp_path, bench, stats_db, subset
+    ):
+        from repro.obs import events as obs_events
+        from repro.obs import progress as obs_progress
+        from repro.obs.events import load_events
+
+        estimator = PostgresEstimator().fit(stats_db)
+        events_path = tmp_path / "live.events.jsonl"
+        snapshot_path = tmp_path / "live.prom"
+        obs_events.activate(events_path, level="debug")
+        tracker = obs_progress.activate(snapshot_path=snapshot_path)
+        try:
+            run = bench.run(estimator, queries=subset, workers=2)
+        finally:
+            obs_progress.deactivate()
+            obs_events.deactivate()
+
+        assert len(run.query_runs) == len(subset)
+        # The parent aggregated every streamed completion.
+        assert tracker.done == len(subset)
+        assert tracker.failed == 0
+
+        events = load_events(events_path)
+        names = [record["event"] for record in events]
+        assert names.count("campaign.begin") == 1
+        assert names.count("campaign.end") == 1
+        assert names.count("query.completed") == len(subset)
+        # Claims are streamed from workers and logged by the parent
+        # with the claiming worker's pid.
+        claims = [e for e in events if e["event"] == "query.claimed"]
+        assert len(claims) == len(subset)
+        assert all(isinstance(e.get("worker"), int) for e in claims)
+        assert {e["query"] for e in claims} == {
+            labeled.query.name for labeled in subset
+        }
+
+        # The Prometheus snapshot reflects the terminal state.
+        text = snapshot_path.read_text()
+        assert f"repro_campaign_queries_total {float(len(subset))!r}" in text
+        assert f"repro_campaign_queries_done {float(len(subset))!r}" in text
+
+
 class TestSerialFallback:
     def test_single_worker_runs_serially(self, bench, stats_db, subset):
         estimator = PostgresEstimator().fit(stats_db)

@@ -75,6 +75,18 @@ class TestLRUByteCache:
         assert counters["cache.test.hits"] == 1
         obs_metrics.reset()
 
+    def test_counters_registered_eagerly_at_zero(self):
+        """A fresh cache is visible in snapshots (and Prometheus
+        exports) before any traffic touches it."""
+        obs_metrics.reset()
+        LRUByteCache(100, metric_prefix="cache.fresh")
+        snapshot = obs_metrics.snapshot()
+        assert snapshot["counters"]["cache.fresh.hits"] == 0
+        assert snapshot["counters"]["cache.fresh.misses"] == 0
+        assert snapshot["counters"]["cache.fresh.evictions"] == 0
+        assert snapshot["gauges"]["cache.fresh.bytes"] == 0
+        obs_metrics.reset()
+
     def test_counters_survive_registry_reset(self):
         cache = LRUByteCache(100, metric_prefix="cache.test2")
         cache.get("missing")

@@ -1,0 +1,126 @@
+"""HTML dashboard: rendering from artifacts, killed-campaign recovery."""
+
+import os
+
+import pytest
+
+from repro.core.benchmark import EndToEndBenchmark
+from repro.estimators.postgres import PostgresEstimator
+from repro.obs import events as obs_events
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.events import load_events
+from repro.resilience import CampaignCheckpoint
+from repro.resilience.faults import WorkerKillingEstimator
+
+
+@pytest.fixture(scope="module")
+def subset(stats_workload):
+    multi = [q for q in stats_workload.queries if q.query.num_tables >= 2]
+    assert len(multi) >= 3
+    return multi[:3]
+
+
+@pytest.fixture(scope="module")
+def postgres(stats_db):
+    return PostgresEstimator().fit(stats_db)
+
+
+class TestDashboardRendering:
+    def test_no_artifacts_is_still_a_page(self):
+        html = render_dashboard()
+        assert "<!doctype html>" in html
+        assert "No campaign artifacts found" in html
+
+    def test_missing_files_render_shorter_page_not_error(self, tmp_path):
+        html = render_dashboard(
+            checkpoint_path=tmp_path / "absent.ckpt.jsonl",
+            events_path=tmp_path / "absent.events.jsonl",
+            manifest_path=tmp_path / "absent.json",
+            blame_path=tmp_path / "absent.blame.json",
+        )
+        assert "No campaign artifacts found" in html
+
+    def test_full_campaign_dashboard(
+        self, tmp_path, stats_db, stats_workload, subset, postgres
+    ):
+        checkpoint_path = tmp_path / "campaign.ckpt.jsonl"
+        events_path = tmp_path / "campaign.events.jsonl"
+        bench = EndToEndBenchmark(stats_db, stats_workload)
+        obs_events.activate(events_path)
+        try:
+            with CampaignCheckpoint(checkpoint_path) as checkpoint:
+                bench.run(postgres, queries=subset, checkpoint=checkpoint)
+        finally:
+            obs_events.deactivate()
+
+        out = write_dashboard(
+            tmp_path / "dashboard.html",
+            checkpoint_path=checkpoint_path,
+            events_path=events_path,
+            title="full campaign",
+        )
+        html = out.read_text()
+        assert "<title>full campaign</title>" in html
+        assert f"{len(subset)} / {len(subset)} queries completed" in html
+        assert "completed" in html
+        for labeled in subset:
+            assert labeled.query.name in html
+        assert "campaign.begin" in html or "query.completed" in html
+
+    def test_html_escapes_artifact_content(self, tmp_path):
+        events_path = tmp_path / "evil.events.jsonl"
+        with obs_events.EventLog(events_path) as log:
+            log.emit("campaign.begin", total=1, estimator="<script>alert(1)</script>")
+        html = render_dashboard(events_path=events_path)
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestKilledCampaign:
+    def test_killed_campaign_leaves_readable_artifacts(
+        self, tmp_path, stats_db, stats_workload, subset, postgres
+    ):
+        """ISSUE acceptance: a campaign killed mid-flight (worker-kill
+        fault from the resilience harness) leaves a readable event log
+        and a dashboard rendering partial progress from the checkpoint."""
+        checkpoint_path = tmp_path / "killed.ckpt.jsonl"
+        events_path = tmp_path / "killed.events.jsonl"
+        victim = subset[1].query.name  # query #2: one query completes first
+
+        pid = os.fork()
+        if pid == 0:  # child: run the campaign serially until the kill
+            status = 99
+            try:
+                killer = WorkerKillingEstimator(postgres, kill_queries={victim})
+                bench = EndToEndBenchmark(stats_db, stats_workload)
+                obs_events.activate(events_path)
+                with CampaignCheckpoint(checkpoint_path) as checkpoint:
+                    bench.run(killer, queries=subset, checkpoint=checkpoint)
+                status = 0  # not reached: the fault kills the process
+            finally:
+                os._exit(status)
+
+        _, wait_status = os.waitpid(pid, 0)
+        assert os.WIFEXITED(wait_status)
+        assert os.WEXITSTATUS(wait_status) == 13  # the injected kill, not a clean run
+
+        # The event log is readable and shows the campaign started and
+        # made progress, but never ended.
+        events = load_events(events_path)
+        names = [record["event"] for record in events]
+        assert "campaign.begin" in names
+        assert names.count("query.completed") == 1
+        assert "campaign.end" not in names
+
+        # The checkpoint holds the one completed query.
+        checkpoint = CampaignCheckpoint.resume(checkpoint_path)
+        assert len(checkpoint) == 1
+        assert checkpoint.get(postgres.name, subset[0].query.name) is not None
+
+        # The dashboard renders partial progress from those artifacts.
+        html = render_dashboard(
+            checkpoint_path=checkpoint_path, events_path=events_path
+        )
+        assert f"1 / {len(subset)} queries completed" in html
+        assert "in progress or interrupted" in html
+        assert subset[0].query.name in html

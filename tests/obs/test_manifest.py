@@ -75,6 +75,46 @@ class TestManifest:
             assert phase in q1
         assert manifest["metrics"]["counters"]["benchmark.aborted_queries"] == 1.0
 
+    def test_manifest_json_is_deterministically_sorted(self, tmp_path):
+        obs_metrics.registry().counter("z.last").inc()
+        obs_metrics.registry().counter("a.first").inc()
+        path = obs_manifest.write_run_manifest(
+            tmp_path / "run_manifest.json",
+            {"mode": "quick"},
+            [("label", _fake_run())],
+            events_file="run.events.jsonl",
+        )
+        text = path.read_text()
+        # sort_keys=True: top-level keys appear alphabetically.
+        assert text.index('"config"') < text.index('"runs"')
+        assert text.index('"a.first"') < text.index('"z.last"')
+        manifest = json.loads(text)
+        assert manifest["events_file"] == "run.events.jsonl"
+
+    def test_load_rejects_incompatible_schema(self, tmp_path):
+        path = obs_manifest.write_run_manifest(
+            tmp_path / "run_manifest.json", {"mode": "quick"}, []
+        )
+        assert (
+            obs_manifest.load_run_manifest(path)["schema_version"]
+            == obs_manifest.MANIFEST_SCHEMA_VERSION
+        )
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema"):
+            obs_manifest.load_run_manifest(path)
+
+    def test_load_accepts_schema_v1(self, tmp_path):
+        """PR-2-era manifests (schema 1) must still load."""
+        path = obs_manifest.write_run_manifest(
+            tmp_path / "run_manifest.json", {"mode": "quick"}, []
+        )
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 1
+        path.write_text(json.dumps(payload))
+        assert obs_manifest.load_run_manifest(path)["schema_version"] == 1
+
     def test_collector_gates_on_enable(self):
         obs_manifest.collect_run("ignored", _fake_run())
         assert obs_manifest.collected_runs() == []

@@ -112,6 +112,19 @@ class TestDumpMerge:
         assert merged.count == _HISTOGRAM_SAMPLE_CAP + 15
         assert len(merged.samples) == _HISTOGRAM_SAMPLE_CAP
 
+    def test_dump_keys_sorted_regardless_of_creation_order(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        registry.gauge("mid").set(1)
+        registry.gauge("aaa").set(2)
+        registry.histogram("second").observe(1.0)
+        registry.histogram("first").observe(1.0)
+        dump = registry.dump()
+        assert list(dump["counters"]) == ["alpha", "zeta"]
+        assert list(dump["gauges"]) == ["aaa", "mid"]
+        assert list(dump["histograms"]) == ["first", "second"]
+
     def test_dump_roundtrips_through_merge(self):
         source, target = MetricsRegistry(), MetricsRegistry()
         source.counter("c").inc(7)

@@ -1,0 +1,195 @@
+"""Live progress: tracker, Prometheus text, snapshot writer, HTTP server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import progress as obs_progress
+from repro.obs.progress import (
+    MetricsServer,
+    ProgressTracker,
+    SnapshotWriter,
+    prometheus_text,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class _Run:
+    def __init__(self, failed=False, aborted=False):
+        self.failed = failed
+        self.aborted = aborted
+
+
+@pytest.fixture(autouse=True)
+def _clean_module_state():
+    yield
+    obs_progress.deactivate()
+
+
+# -- ProgressTracker ----------------------------------------------------------
+
+
+def test_tracker_classifies_outcomes():
+    tracker = ProgressTracker(total=5, estimator="PostgreSQL", workload="stats")
+    tracker.record_result(_Run())
+    tracker.record_result(_Run(failed=True))
+    tracker.record_result(_Run(aborted=True))
+    view = tracker.snapshot()
+    assert (view["done"], view["failed"], view["aborted"]) == (3, 1, 1)
+    assert view["remaining"] == 2
+
+
+def test_tracker_in_flight_and_workers():
+    clock = FakeClock()
+    tracker = ProgressTracker(total=4, clock=clock)
+    tracker.record_claim(0, worker=101)
+    tracker.record_claim(1, worker=102)
+    assert tracker.snapshot()["in_flight"] == [0, 1]
+    clock.advance(10.0)
+    tracker.heartbeat(102)
+    assert tracker.stale_workers(max_silence_seconds=5.0) == [101]
+    tracker.record_result(_Run(), index=0)
+    assert tracker.snapshot()["in_flight"] == [1]
+
+
+def test_throughput_and_eta_from_fake_clock():
+    clock = FakeClock()
+    tracker = ProgressTracker(total=10, clock=clock)
+    assert tracker.throughput_qps() == 0.0
+    assert tracker.eta_seconds() is None
+    for _ in range(5):
+        clock.advance(2.0)
+        tracker.record_result(_Run())
+    # 5 completions spaced 2s apart -> 0.5 q/s, 5 remaining -> 10s ETA.
+    assert tracker.throughput_qps() == pytest.approx(0.5)
+    assert tracker.eta_seconds() == pytest.approx(10.0)
+
+
+def test_render_mentions_progress_and_label():
+    tracker = ProgressTracker(total=3, estimator="TrueCard", workload="stats")
+    tracker.record_result(_Run())
+    text = tracker.render()
+    assert "1/3 done" in text
+    assert "[TrueCard/stats]" in text
+
+
+# -- Prometheus text ----------------------------------------------------------
+
+
+def test_prometheus_text_campaign_and_registry():
+    registry = obs_metrics.MetricsRegistry()
+    registry.counter("cache.plans.hits").inc(7)
+    registry.gauge("cache.plans.bytes").set(128)
+    for value in (1.0, 2.0, 3.0):
+        registry.histogram("phase.exec_seconds").observe(value)
+    tracker = ProgressTracker(total=4, estimator="PostgreSQL", workload="stats")
+    tracker.record_result(_Run())
+
+    text = prometheus_text(registry=registry, tracker=tracker)
+    assert "# TYPE repro_campaign_queries_total gauge" in text
+    assert "repro_campaign_queries_total 4.0" in text
+    assert "repro_campaign_queries_done 1.0" in text
+    assert "# TYPE repro_cache_plans_hits counter" in text
+    assert "repro_cache_plans_hits 7.0" in text
+    assert "# TYPE repro_cache_plans_bytes gauge" in text
+    assert "# TYPE repro_phase_exec_seconds summary" in text
+    assert 'repro_phase_exec_seconds{quantile="0.5"}' in text
+    assert "repro_phase_exec_seconds_count 3.0" in text
+    assert "repro_phase_exec_seconds_sum 6.0" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_names_sanitized():
+    registry = obs_metrics.MetricsRegistry()
+    registry.counter("executor.rows-out/total").inc()
+    text = prometheus_text(registry=registry)
+    assert "repro_executor_rows_out_total 1.0" in text
+
+
+# -- SnapshotWriter -----------------------------------------------------------
+
+
+def test_snapshot_writer_throttles_and_forces(tmp_path):
+    clock = FakeClock()
+    tracker = ProgressTracker(total=2, clock=clock)
+    writer = SnapshotWriter(tmp_path / "progress.prom", interval_seconds=1.0, clock=clock)
+
+    assert writer.maybe_write(tracker) is True
+    assert writer.maybe_write(tracker) is False  # within interval
+    clock.advance(1.5)
+    assert writer.maybe_write(tracker) is True
+    assert writer.maybe_write(tracker, force=True) is True
+    assert writer.writes == 3
+
+    content = (tmp_path / "progress.prom").read_text()
+    assert "repro_campaign_queries_total 2.0" in content
+    assert not (tmp_path / "progress.prom.tmp").exists()  # atomic replace
+
+
+# -- module hooks -------------------------------------------------------------
+
+
+def test_module_hooks_are_noops_when_inactive():
+    obs_progress.begin_campaign(total=3)
+    obs_progress.record_claim(0, worker=1)
+    obs_progress.heartbeat(1)
+    obs_progress.record_result(_Run(), index=0)
+    obs_progress.end_campaign()
+    assert obs_progress.active_tracker() is None
+
+
+def test_module_hooks_drive_tracker_and_snapshot(tmp_path):
+    snapshot_path = tmp_path / "live.prom"
+    tracker = obs_progress.activate(snapshot_path=snapshot_path)
+    obs_progress.begin_campaign(total=2, estimator="PostgreSQL", workload="stats")
+    obs_progress.record_claim(0, worker=11)
+    obs_progress.record_result(_Run(), index=0)
+    obs_progress.end_campaign()
+    assert tracker.done == 1
+    assert snapshot_path.exists()
+    assert "repro_campaign_queries_done 1.0" in snapshot_path.read_text()
+
+
+# -- MetricsServer ------------------------------------------------------------
+
+
+def test_metrics_server_serves_metrics_and_progress():
+    tracker = obs_progress.activate()
+    obs_progress.begin_campaign(total=3, estimator="PostgreSQL", workload="stats")
+    tracker.record_result(_Run())
+
+    server = MetricsServer("127.0.0.1:0")
+    try:
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        with urllib.request.urlopen(f"{base}/metrics", timeout=5) as response:
+            body = response.read().decode()
+            assert response.status == 200
+            assert "repro_campaign_queries_done 1.0" in body
+        with urllib.request.urlopen(f"{base}/progress", timeout=5) as response:
+            payload = json.loads(response.read().decode())
+            assert payload["done"] == 1
+            assert payload["total"] == 3
+            assert payload["estimator"] == "PostgreSQL"
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(f"{base}/nope", timeout=5)
+    finally:
+        server.close()
+
+
+def test_metrics_server_rejects_bad_addr():
+    with pytest.raises(ValueError):
+        MetricsServer("not-an-addr")

@@ -124,6 +124,63 @@ class TestCallWithRetry:
         assert len(calls) == 1
 
 
+class TestRetryObservability:
+    @staticmethod
+    def _flaky(failures: int):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            if len(calls) <= failures:
+                raise RuntimeError(f"transient {len(calls)}")
+            return "ok"
+
+        return fn
+
+    def test_retried_attempts_become_child_spans(self):
+        from repro.obs import trace as obs_trace
+
+        policy = RetryPolicy(max_attempts=3, backoff_seconds=0.01, jitter_fraction=0.0)
+        with obs_trace.use_tracer() as tracer:
+            with obs_trace.span("query", name="q1"):
+                value, attempts = call_with_retry(
+                    self._flaky(2), policy, sleep=lambda _: None
+                )
+        assert (value, attempts) == ("ok", 3)
+        retries = [s for s in tracer.spans if s.name == "retry"]
+        assert [s.attributes["attempt"] for s in retries] == [2, 3]
+        # Each span records the backoff slept before its attempt.
+        assert retries[0].attributes["backoff_seconds"] == pytest.approx(0.01)
+        assert retries[1].attributes["backoff_seconds"] == pytest.approx(0.02)
+        # Child of the enclosing query span, so trace trees stay connected.
+        query_span = next(s for s in tracer.spans if s.name == "query")
+        assert all(s.parent_id == query_span.span_id for s in retries)
+
+    def test_first_attempt_stays_span_free(self):
+        from repro.obs import trace as obs_trace
+
+        with obs_trace.use_tracer() as tracer:
+            value, attempts = call_with_retry(lambda: 42, RetryPolicy())
+        assert (value, attempts) == (42, 1)
+        assert not [s for s in tracer.spans if s.name == "retry"]
+
+    def test_retry_emits_structured_event(self, tmp_path):
+        from repro.obs import events as obs_events
+        from repro.obs.events import load_events
+
+        policy = RetryPolicy(max_attempts=2, backoff_seconds=0.01, jitter_fraction=0.0)
+        with obs_events.use_event_log(tmp_path / "retry.events.jsonl"):
+            call_with_retry(self._flaky(1), policy, sleep=lambda _: None)
+        events = load_events(tmp_path / "retry.events.jsonl")
+        retry_events = [e for e in events if e["event"] == "retry"]
+        assert len(retry_events) == 1
+        record = retry_events[0]
+        assert record["level"] == "warning"
+        assert record["attempt"] == 2
+        assert record["backoff_seconds"] == pytest.approx(0.01)
+        assert "transient" in record["error"]
+
+
 class TestDeadline:
     def test_unbounded_never_expires(self):
         deadline = Deadline.unbounded()

@@ -14,6 +14,8 @@ class TestParser:
             "explain",
             "run-query",
             "bench",
+            "blame",
+            "dashboard",
             "export-workload",
             "export-csv",
         ):
@@ -40,6 +42,43 @@ class TestParser:
         assert args.workers == 4
         assert args.resume == "campaign.jsonl"
         assert args.checkpoint is None
+
+    def test_bench_telemetry_flags(self):
+        args = build_parser().parse_args(
+            [
+                "bench",
+                "--estimator",
+                "PostgreSQL",
+                "--events-out",
+                "run.events.jsonl",
+                "--events-level",
+                "debug",
+                "--progress-out",
+                "progress.prom",
+                "--metrics-addr",
+                "127.0.0.1:9464",
+            ]
+        )
+        assert args.events_out == "run.events.jsonl"
+        assert args.events_level == "debug"
+        assert args.progress_out == "progress.prom"
+        assert args.metrics_addr == "127.0.0.1:9464"
+
+    def test_bench_rejects_unknown_events_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--events-level", "loud"])
+
+    def test_blame_defaults(self):
+        args = build_parser().parse_args(["blame"])
+        assert args.estimator == "PostgreSQL"
+        assert args.top == 5
+        assert args.limit is None
+        assert args.no_analyze is False
+        assert args.out is None
+
+    def test_dashboard_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dashboard"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -138,6 +177,31 @@ class TestCommands:
         rendered = capsys.readouterr().out
         assert "query" in rendered and "execution" in rendered and "ms" in rendered
 
+    def test_blame_limited_no_analyze(self, tmp_path, capsys):
+        from repro.obs.blame import load_blame_json
+
+        out = tmp_path / "blame.json"
+        code = main(
+            [
+                "blame",
+                "--database",
+                "stats",
+                "--estimator",
+                "PostgreSQL",
+                "--limit",
+                "2",
+                "--no-analyze",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Blame report: PostgreSQL" in text
+        assert "P-Error" in text
+        payload = load_blame_json(out)
+        assert len(payload["queries"]) == 2
+
     def test_export_csv(self, tmp_path, capsys):
         code = main(["export-csv", "--database", "imdb", "--out", str(tmp_path / "csv")])
         assert code == 0
@@ -152,3 +216,35 @@ class TestCommands:
         content = (tmp_path / "w.sql").read_text()
         assert "SELECT COUNT(*)" in content
         assert "true_cardinality" in content
+
+
+class TestDashboardCommand:
+    """`repro dashboard` renders straight from artifacts — no DB needed."""
+
+    def test_dashboard_from_event_log(self, tmp_path, capsys):
+        from repro.obs.events import EventLog
+
+        events_path = tmp_path / "campaign.events.jsonl"
+        with EventLog(events_path) as log:
+            log.emit("campaign.begin", total=3, estimator="PostgreSQL")
+            log.emit("query.completed", query="q1", seconds=0.2)
+        out = tmp_path / "dash.html"
+        code = main(
+            ["dashboard", "--events", str(events_path), "--out", str(out),
+             "--title", "smoke"]
+        )
+        assert code == 0
+        html = out.read_text()
+        assert "<title>smoke</title>" in html
+        assert "0 / 3 queries completed" in html
+        assert "query.completed" in html
+
+    def test_dashboard_warns_on_missing_inputs(self, tmp_path, capsys):
+        out = tmp_path / "dash.html"
+        code = main(
+            ["dashboard", "--checkpoint", str(tmp_path / "nope.jsonl"),
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "warning" in capsys.readouterr().out
+        assert out.exists()
