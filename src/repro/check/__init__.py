@@ -1,0 +1,54 @@
+"""Differential correctness oracle for the numpy mini-DBMS.
+
+Every metric this reproduction reports — true cardinalities, Q-Error,
+P-Error, end-to-end runtimes — assumes the engine executes SQL
+correctly.  This package independently validates that assumption:
+
+- :mod:`repro.check.oracle` loads any :class:`~repro.engine.database.
+  Database` into an in-memory SQLite instance (stdlib ``sqlite3``) and
+  re-executes every query and every enumerated sub-plan there,
+  asserting row-count equality against the engine executor and against
+  :class:`~repro.core.truecards.TrueCardinalityService`;
+- :mod:`repro.check.fuzz` generates random schemas, data and
+  multi-join queries from a seed (skew, NULLs, duplicate join keys,
+  dangling keys, empty and single-row tables);
+- :mod:`repro.check.invariants` runs metamorphic invariants per case:
+  exec-cache ON vs OFF, serial vs parallel workers, checkpoint-resume
+  vs fresh run, and plan-choice independence (every plan the planner
+  could pick must return the same count);
+- :mod:`repro.check.shrink` minimizes a failing case to a small repro;
+- :mod:`repro.check.artifacts` serializes it as a JSON bundle (schema
+  + rows + SQL) that replays via ``repro check --replay`` or pytest;
+- :mod:`repro.check.runner` drives the whole sweep (the ``repro
+  check`` CLI subcommand and the CI fuzz jobs).
+"""
+
+from repro.check.artifacts import load_artifact, write_artifact
+from repro.check.fuzz import CheckCase, FuzzConfig, build_case
+from repro.check.invariants import ALL_INVARIANTS, Discrepancy
+from repro.check.oracle import SQLiteOracle
+from repro.check.runner import (
+    CheckOptions,
+    CheckReport,
+    check_workload,
+    replay_artifact,
+    replay_command,
+    run_check,
+)
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "CheckCase",
+    "CheckOptions",
+    "CheckReport",
+    "Discrepancy",
+    "FuzzConfig",
+    "SQLiteOracle",
+    "build_case",
+    "check_workload",
+    "load_artifact",
+    "replay_artifact",
+    "replay_command",
+    "run_check",
+    "write_artifact",
+]

@@ -1,0 +1,175 @@
+"""Failing-case artifacts: JSON bundles of schema + rows + SQL.
+
+When the fuzzer finds a discrepancy, the (shrunken) case is written as
+a self-contained JSON document that commits everything needed to
+reproduce it: the table schemas, every row (with explicit NULLs), the
+join graph, the failing queries as SQL, and the failure record.  The
+bundle replays through ``repro check --replay <file>`` or
+:func:`repro.check.runner.replay_artifact`; the regression corpus under
+``tests/check/artifacts/`` is replayed by the tier-1 suite on every CI
+run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.check.fuzz import CheckCase
+from repro.check.invariants import Discrepancy
+from repro.engine.catalog import ColumnMeta, JoinEdge, JoinGraph, TableSchema
+from repro.engine.database import Database
+from repro.engine.sql import parse_query, query_to_sql
+from repro.engine.table import Table
+from repro.engine.types import ColumnKind
+
+ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_KIND = "repro-check-case"
+
+
+def _column_values(table: Table, name: str) -> list:
+    """Column values as JSON scalars, ``None`` at NULL positions."""
+    column = table.column(name)
+    values = column.values.tolist()
+    for index in np.nonzero(column.null_mask)[0]:
+        values[index] = None
+    return values
+
+
+def case_to_dict(
+    case: CheckCase, failure: Discrepancy | None = None
+) -> dict:
+    """JSON-safe dict of a full check case (plus its failure, if any)."""
+    tables = {}
+    for name, table in case.database.tables.items():
+        tables[name] = {
+            "primary_key": table.schema.primary_key,
+            "columns": [
+                {
+                    "name": meta.name,
+                    "kind": meta.kind.name,
+                    "is_key": meta.is_key,
+                    "filterable": meta.filterable,
+                }
+                for meta in table.schema.columns
+            ],
+            "rows": {
+                meta.name: _column_values(table, meta.name)
+                for meta in table.schema.columns
+            },
+        }
+    return {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "kind": ARTIFACT_KIND,
+        "seed": case.seed,
+        "case": case.index,
+        "database": {
+            "name": case.database.name,
+            "tables": tables,
+            "join_edges": [
+                {
+                    "left": edge.left,
+                    "left_column": edge.left_column,
+                    "right": edge.right,
+                    "right_column": edge.right_column,
+                    "one_to_many": edge.one_to_many,
+                }
+                for edge in case.database.join_graph.edges
+            ],
+        },
+        "queries": [
+            {"name": query.name, "sql": query_to_sql(query)}
+            for query in case.queries
+        ],
+        "failure": (
+            {
+                "invariant": failure.invariant,
+                "query": failure.query,
+                "detail": failure.detail,
+            }
+            if failure is not None
+            else None
+        ),
+    }
+
+
+def case_from_dict(payload: dict) -> CheckCase:
+    """Rebuild a :class:`CheckCase` from :func:`case_to_dict` output."""
+    if payload.get("kind") != ARTIFACT_KIND:
+        raise ValueError(
+            f"not a {ARTIFACT_KIND} artifact: kind={payload.get('kind')!r}"
+        )
+    if payload.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported artifact schema version "
+            f"{payload.get('schema_version')!r}"
+        )
+    spec = payload["database"]
+    tables: dict[str, Table] = {}
+    for name, table_spec in spec["tables"].items():
+        metas = tuple(
+            ColumnMeta(
+                name=column["name"],
+                kind=ColumnKind[column["kind"]],
+                filterable=column["filterable"],
+                is_key=column["is_key"],
+            )
+            for column in table_spec["columns"]
+        )
+        schema = TableSchema(
+            name=name, columns=metas, primary_key=table_spec["primary_key"]
+        )
+        arrays: dict[str, np.ndarray] = {}
+        masks: dict[str, np.ndarray] = {}
+        for meta in metas:
+            raw = table_spec["rows"][meta.name]
+            mask = np.array([value is None for value in raw], dtype=bool)
+            filled = [0 if value is None else value for value in raw]
+            arrays[meta.name] = np.asarray(filled, dtype=meta.kind.dtype)
+            if mask.any():
+                masks[meta.name] = mask
+        tables[name] = Table.from_arrays(schema, arrays, masks)
+
+    graph = JoinGraph()
+    for edge in spec["join_edges"]:
+        graph.add(
+            JoinEdge(
+                left=edge["left"],
+                left_column=edge["left_column"],
+                right=edge["right"],
+                right_column=edge["right_column"],
+                one_to_many=edge["one_to_many"],
+            )
+        )
+    database = Database(name=spec["name"], tables=tables, join_graph=graph)
+    queries = [
+        parse_query(entry["sql"], join_graph=graph, name=entry["name"])
+        for entry in payload["queries"]
+    ]
+    return CheckCase(
+        seed=payload["seed"],
+        index=payload["case"],
+        database=database,
+        queries=queries,
+    )
+
+
+def write_artifact(
+    case: CheckCase, path: str | Path, failure: Discrepancy | None = None
+) -> Path:
+    """Serialize ``case`` (and its failure) as a JSON artifact file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(case_to_dict(case, failure), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return path
+
+
+def load_artifact(path: str | Path) -> tuple[CheckCase, dict | None]:
+    """Load an artifact file: the rebuilt case plus its failure record."""
+    payload = json.loads(Path(path).read_text())
+    return case_from_dict(payload), payload.get("failure")

@@ -1,0 +1,226 @@
+"""Delta-debugging-lite minimization of failing fuzz cases.
+
+Given a failing :class:`CheckCase` and a ``fails`` predicate that
+re-runs the failing check, :func:`shrink` greedily tries smaller
+candidates and keeps any that still fail:
+
+1. reduce to a single failing query;
+2. drop leaf tables from the query (tree queries stay connected);
+3. drop predicates one at a time;
+4. drop tables the remaining queries never touch from the database;
+5. bisect each table's rows (keep a prefix, then halves).
+
+The result is the case that gets serialized as the replay artifact, so
+smaller is strictly better for whoever debugs it — but minimality is
+not guaranteed and the loop is bounded by ``max_evaluations`` calls to
+``fails`` to keep fuzz sweeps fast even when shrinking thrashes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.check.fuzz import CheckCase
+from repro.check.invariants import Discrepancy
+from repro.engine.database import Database
+from repro.engine.query import Query
+
+#: ``fails`` re-runs engine + oracle work, so cap how often shrink may
+#: call it per case.
+DEFAULT_MAX_EVALUATIONS = 80
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.remaining = limit
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _with(
+    case: CheckCase,
+    database: Database | None = None,
+    queries: list[Query] | None = None,
+) -> CheckCase:
+    return CheckCase(
+        seed=case.seed,
+        index=case.index,
+        database=database if database is not None else case.database,
+        queries=queries if queries is not None else case.queries,
+    )
+
+
+def _try(
+    candidate: CheckCase,
+    fails: Callable[[CheckCase], Discrepancy | None],
+    budget: _Budget,
+) -> Discrepancy | None:
+    if not budget.spend():
+        return None
+    try:
+        return fails(candidate)
+    except Exception:
+        # A candidate that crashes the checker is not a valid repro of
+        # the *original* discrepancy; discard it.
+        return None
+
+
+def _leaf_tables(query: Query) -> list[str]:
+    """Tables appearing in at most one join edge (safe to drop)."""
+    if len(query.tables) <= 1:
+        return []
+    degree = {table: 0 for table in query.tables}
+    for edge in query.join_edges:
+        degree[edge.left] += 1
+        degree[edge.right] += 1
+    return sorted(table for table, count in degree.items() if count <= 1)
+
+
+def _shrink_query(
+    case: CheckCase,
+    fails: Callable[[CheckCase], Discrepancy | None],
+    budget: _Budget,
+) -> tuple[CheckCase, Discrepancy | None]:
+    """Steps 2 + 3: fewer joined tables, then fewer predicates."""
+    best = case
+    last: Discrepancy | None = None
+    changed = True
+    while changed and budget.remaining:
+        changed = False
+        query = best.queries[0]
+        for leaf in _leaf_tables(query):
+            candidate = _with(
+                best, queries=[query.subquery(query.tables - {leaf})]
+            )
+            failure = _try(candidate, fails, budget)
+            if failure is not None:
+                best, last, changed = candidate, failure, True
+                break
+        if changed:
+            continue
+        for drop in range(len(query.predicates)):
+            predicates = (
+                query.predicates[:drop] + query.predicates[drop + 1 :]
+            )
+            candidate = _with(
+                best,
+                queries=[
+                    Query(
+                        tables=query.tables,
+                        join_edges=query.join_edges,
+                        predicates=predicates,
+                        name=query.name,
+                    )
+                ],
+            )
+            failure = _try(candidate, fails, budget)
+            if failure is not None:
+                best, last, changed = candidate, failure, True
+                break
+    return best, last
+
+
+def _drop_unused_tables(case: CheckCase) -> CheckCase:
+    """Step 4: restrict the database to tables the queries mention."""
+    used = set().union(*(query.tables for query in case.queries))
+    if used == set(case.database.tables):
+        return case
+    graph_cls = type(case.database.join_graph)
+    graph = graph_cls()
+    for edge in case.database.join_graph.edges:
+        if edge.left in used and edge.right in used:
+            graph.add(edge)
+    database = Database(
+        name=case.database.name,
+        tables={
+            name: table
+            for name, table in case.database.tables.items()
+            if name in used
+        },
+        join_graph=graph,
+    )
+    return _with(case, database=database)
+
+
+def _with_table_prefix(case: CheckCase, table: str, rows: int) -> CheckCase:
+    import numpy as np
+
+    old = case.database.tables[table]
+    tables = dict(case.database.tables)
+    tables[table] = old.take(np.arange(rows))
+    database = Database(
+        name=case.database.name,
+        tables=tables,
+        join_graph=case.database.join_graph,
+    )
+    return _with(case, database=database)
+
+
+def _shrink_rows(
+    case: CheckCase,
+    fails: Callable[[CheckCase], Discrepancy | None],
+    budget: _Budget,
+) -> tuple[CheckCase, Discrepancy | None]:
+    """Step 5: per-table prefix bisection of the row sets."""
+    best = case
+    last: Discrepancy | None = None
+    for table in sorted(case.database.tables):
+        while budget.remaining:
+            rows = best.database.tables[table].num_rows
+            if rows <= 1:
+                break
+            candidate = _with_table_prefix(best, table, rows // 2)
+            failure = _try(candidate, fails, budget)
+            if failure is None:
+                break
+            best, last = candidate, failure
+    return best, last
+
+
+def shrink(
+    case: CheckCase,
+    fails: Callable[[CheckCase], Discrepancy | None],
+    max_evaluations: int = DEFAULT_MAX_EVALUATIONS,
+) -> tuple[CheckCase, Discrepancy | None]:
+    """Minimize ``case`` while ``fails`` keeps reporting a discrepancy.
+
+    Returns the smallest still-failing case found and the discrepancy
+    it produced (``None`` only if even the original stopped failing,
+    which callers treat as a flake and report unshrunk).
+    """
+    budget = _Budget(max_evaluations)
+    best = case
+    last: Discrepancy | None = None
+
+    # Step 1: a single failing query, preferring the fewest tables.
+    if len(case.queries) > 1:
+        singles = sorted(case.queries, key=lambda q: (len(q.tables), q.name))
+        for query in singles:
+            candidate = _with(case, queries=[query])
+            failure = _try(candidate, fails, budget)
+            if failure is not None:
+                best, last = candidate, failure
+                break
+
+    if len(best.queries) == 1:
+        shrunk, failure = _shrink_query(best, fails, budget)
+        if failure is not None:
+            best, last = shrunk, failure
+
+    candidate = _drop_unused_tables(best)
+    if candidate is not best:
+        failure = _try(candidate, fails, budget)
+        if failure is not None:
+            best, last = candidate, failure
+
+    shrunk, failure = _shrink_rows(best, fails, budget)
+    if failure is not None:
+        best, last = shrunk, failure
+
+    if last is None:
+        last = _try(best, fails, _Budget(1))
+    return best, last

@@ -259,6 +259,46 @@ def cmd_export_csv(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.check import CheckOptions, check_workload, replay_artifact, run_check
+    from repro.check.invariants import ALL_INVARIANTS
+
+    invariants = (
+        tuple(name for name in args.invariants.split(",") if name)
+        if args.invariants
+        else ALL_INVARIANTS
+    )
+    unknown = set(invariants) - set(ALL_INVARIANTS)
+    if unknown:
+        raise SystemExit(
+            f"unknown invariants {sorted(unknown)}; "
+            f"choose from {', '.join(ALL_INVARIANTS)}"
+        )
+    options = CheckOptions(
+        seed=args.seed,
+        cases=args.cases,
+        oracle=not args.no_oracle,
+        invariants=invariants,
+        artifact_dir=args.artifact_dir,
+    )
+    if args.replay:
+        report = replay_artifact(args.replay, options)
+    elif args.workload:
+        # Oracle-check a real benchmark workload (needs the datasets).
+        context = _context(args)
+        database = context.database_for_workload(args.workload)
+        workload = context.workload(args.workload)
+        report = check_workload(database, workload, limit=args.limit)
+    else:
+        report = run_check(options)
+    print(report.summary())
+    if not report.ok:
+        print(f"FAILED: {len(report.failures)} discrepancies")
+        return 1
+    print("OK")
+    return 0
+
+
 def _workload_for(database: str) -> str:
     return "stats-ceb" if database == "stats" else "job-light"
 
@@ -463,6 +503,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dashboard.add_argument("--out", required=True, metavar="FILE")
     dashboard.set_defaults(handler=cmd_dashboard)
+
+    check = commands.add_parser(
+        "check",
+        help="differential correctness check: fuzz the engine against a "
+        "SQLite oracle and metamorphic invariants",
+    )
+    check.add_argument("--seed", type=int, default=0, help="fuzz seed")
+    check.add_argument(
+        "--cases", type=int, default=50, help="number of fuzz cases"
+    )
+    check.add_argument(
+        "--no-oracle",
+        action="store_true",
+        help="skip the SQLite reference comparison",
+    )
+    check.add_argument(
+        "--invariants",
+        default="",
+        metavar="LIST",
+        help="comma-separated metamorphic invariants to run "
+        "(default: cache,plans,parallel,resume)",
+    )
+    check.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="DIR",
+        help="write shrunken failing cases as replayable JSON here",
+    )
+    check.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-run all checks against one saved failing-case artifact",
+    )
+    check.add_argument(
+        "--workload",
+        default=None,
+        choices=["stats-ceb", "job-light"],
+        help="instead of fuzzing, oracle-check this benchmark workload",
+    )
+    check.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="max workload queries to check (with --workload)",
+    )
+    check.set_defaults(handler=cmd_check)
 
     export_data = commands.add_parser(
         "export-csv", help="dump a benchmark database as CSV files"

@@ -22,7 +22,17 @@ from repro.engine.query import Query
 
 
 def q_error(estimate: float, true_cardinality: float) -> float:
-    """max(est/true, true/est), both clamped to >= 1 row."""
+    """max(est/true, true/est), both clamped to >= 1 row.
+
+    **Documented divergence from raw ratios** (verified by the
+    differential oracle in :mod:`repro.check`): the engine and the
+    SQLite reference both report a *raw* count of 0 for empty results,
+    but this metric clamps both operands to one row, so a true
+    cardinality of 0 yields ``q_error(est, 0) == max(est, 1)`` rather
+    than an infinite/undefined ratio.  This matches the paper's (and
+    PostgreSQL's) convention of treating relations as never smaller
+    than one row, and keeps percentile aggregates finite.
+    """
     estimate = max(float(estimate), 1.0)
     true_cardinality = max(float(true_cardinality), 1.0)
     return max(estimate / true_cardinality, true_cardinality / estimate)

@@ -62,7 +62,10 @@ def _literal(value) -> str:
 
 _TOKEN_PATTERN = re.compile(
     r"\s*(?:"
-    r"(?P<number>-?\d+(?:\.\d+)?)"
+    # Scientific notation is part of the dialect: float predicate values
+    # render through repr(), which emits forms like ``1e-07`` that the
+    # parser must round-trip (and SQLite accepts verbatim).
+    r"(?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
     r"|(?P<word>[A-Za-z_][A-Za-z_0-9]*)"
     r"|(?P<symbol><=|>=|<>|!=|[(),.*=<>;])"
     r")"

@@ -123,8 +123,18 @@ class ColumnStats:
         return non_mcv_frac / remaining_distinct
 
     def range_selectivity(self, low: float, high: float) -> float:
-        """Selectivity of ``low <= column <= high``."""
+        """Selectivity of ``low <= column <= high`` (closed interval).
+
+        Never returns 0 for an interval that contains an *observed*
+        value: ``min_value`` and ``max_value`` are real data points, so
+        e.g. ``column >= max_value`` or ``column <= min_value`` must
+        keep at least one matching value's worth of mass even though
+        the histogram CDF difference degenerates to zero at the bucket
+        edges (the boundary bug surfaced by the differential oracle).
+        """
         if self.num_rows == 0 or self.n_distinct == 0:
+            return 0.0
+        if low > high:
             return 0.0
         if low == high:
             return self.eq_selectivity(low)
@@ -135,6 +145,15 @@ class ColumnStats:
         non_mcv_frac = max(0.0, 1.0 - self.null_frac - self.mcv_total_freq)
         if non_mcv_frac > 0 and len(self.hist_bounds) >= 2:
             selectivity += non_mcv_frac * self._histogram_fraction(low, high)
+        if selectivity <= 0.0 and (
+            low <= self.min_value <= high or low <= self.max_value <= high
+        ):
+            # Closed-bound floor: the interval provably matches at least
+            # one observed value; charge it one value's uniform share of
+            # the non-MCV mass (the same assumption eq_selectivity makes
+            # for non-MCV values) instead of an impossible zero.
+            remaining_distinct = max(1, self.n_distinct - len(self.mcv_values))
+            selectivity = non_mcv_frac / remaining_distinct
         return min(1.0, selectivity)
 
     def _histogram_fraction(self, low: float, high: float) -> float:

@@ -1,0 +1,88 @@
+"""The metamorphic invariants: they pass on healthy cases and, just as
+importantly, they actually detect injected disagreements."""
+
+import pytest
+
+from repro.check import build_case
+from repro.check.invariants import (
+    ALL_INVARIANTS,
+    check_cache,
+    check_oracle,
+    check_parallel,
+    check_plans,
+    check_resume,
+    parallel_applicable,
+    run_invariants,
+)
+from repro.core.truecards import TrueCardinalityService
+
+
+class TestHealthyCases:
+    @pytest.mark.parametrize("index", range(6))
+    def test_oracle_cache_plans_pass(self, index):
+        case = build_case(0, index)
+        assert check_oracle(case) == []
+        assert check_cache(case) == []
+        assert check_plans(case) == []
+
+    def test_resume_passes(self):
+        assert check_resume(build_case(0, 0)) == []
+
+    def test_parallel_passes_when_applicable(self):
+        for index in range(20):
+            case = build_case(0, index)
+            if parallel_applicable(case):
+                assert check_parallel(case) == []
+                return
+        pytest.skip("no parallel-applicable case in range (fork unavailable?)")
+
+    def test_run_invariants_runs_all(self):
+        assert run_invariants(build_case(0, 1), ALL_INVARIANTS) == []
+
+
+class TestDetection:
+    """A checker that can't fail is worthless: corrupt one side of the
+    comparison and assert the discrepancy is reported."""
+
+    def _multi_table_case(self):
+        for index in range(40):
+            case = build_case(2, index)
+            if any(len(q.tables) >= 2 for q in case.queries) and all(
+                t.num_rows for t in case.database.tables.values()
+            ):
+                return case
+        raise AssertionError("no suitable case found")
+
+    def test_oracle_detects_corrupted_engine_counts(self, monkeypatch):
+        case = self._multi_table_case()
+        original = TrueCardinalityService.sub_plan_cards
+
+        def off_by_one(self, query):
+            return {
+                subset: count + 1
+                for subset, count in original(self, query).items()
+            }
+
+        monkeypatch.setattr(
+            TrueCardinalityService, "sub_plan_cards", off_by_one
+        )
+        discrepancies = check_oracle(case)
+        assert discrepancies
+        assert discrepancies[0].invariant == "oracle"
+
+    def test_cache_detects_diverging_services(self, monkeypatch):
+        case = self._multi_table_case()
+        original = TrueCardinalityService.sub_plan_cards
+
+        def biased_when_cached(self, query):
+            counts = original(self, query)
+            if self._share:  # the reuse-enabled service lies
+                counts = {s: c + 1 for s, c in counts.items()}
+            return counts
+
+        monkeypatch.setattr(
+            TrueCardinalityService, "sub_plan_cards", biased_when_cached
+        )
+        discrepancies = check_cache(case)
+        assert discrepancies
+        assert discrepancies[0].invariant == "cache"

@@ -1,0 +1,250 @@
+"""SQLite oracle: loading, counting, and the NULL/empty-relation
+semantics it pins down (the bugfix satellites of the check subsystem)."""
+
+import numpy as np
+import pytest
+
+from repro.check import SQLiteOracle
+from repro.core.metrics import q_error
+from repro.core.truecards import TrueCardinalityService
+from repro.engine.catalog import ColumnMeta, JoinEdge, JoinGraph, TableSchema
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.engine.planner import Planner
+from repro.engine.query import Query
+from repro.engine.table import Table
+from repro.engine.types import ColumnKind
+
+from tests.conftest import make_tiny_db
+
+
+def _two_table_db(
+    left_values,
+    left_nulls,
+    right_values,
+    right_nulls,
+    one_to_many=False,
+):
+    """``a.k = b.k`` over explicit value/NULL columns."""
+    a = TableSchema(
+        "a",
+        (
+            ColumnMeta("Id", is_key=True, filterable=False),
+            ColumnMeta("k", is_key=True, filterable=False),
+        ),
+        primary_key="Id",
+    )
+    b = TableSchema(
+        "b",
+        (
+            ColumnMeta("Id", is_key=True, filterable=False),
+            ColumnMeta("k", is_key=True, filterable=False),
+            ColumnMeta("v"),
+        ),
+        primary_key="Id",
+    )
+    graph = JoinGraph()
+    graph.add(JoinEdge("a", "k", "b", "k", one_to_many=one_to_many))
+    na, nb = len(left_values), len(right_values)
+    return Database(
+        name="nulls",
+        tables={
+            "a": Table.from_arrays(
+                a,
+                {"Id": np.arange(na), "k": np.asarray(left_values)},
+                {"k": np.asarray(left_nulls, dtype=bool)},
+            ),
+            "b": Table.from_arrays(
+                b,
+                {
+                    "Id": np.arange(nb),
+                    "k": np.asarray(right_values),
+                    "v": np.arange(nb),
+                },
+                {"k": np.asarray(right_nulls, dtype=bool)},
+            ),
+        },
+        join_graph=graph,
+    )
+
+
+def _join_query(**kwargs):
+    return Query(
+        tables=frozenset({"a", "b"}),
+        join_edges=(JoinEdge("a", "k", "b", "k", one_to_many=False),),
+        name="null-join",
+        **kwargs,
+    )
+
+
+class TestOracleBasics:
+    def test_counts_match_engine_on_tiny_db(self):
+        database = make_tiny_db()
+        service = TrueCardinalityService(database)
+        query = Query(
+            tables=frozenset({"users", "posts"}),
+            join_edges=(JoinEdge("users", "Id", "posts", "OwnerUserId"),),
+            name="tiny-join",
+        )
+        with SQLiteOracle(database) as oracle:
+            counts = oracle.sub_plan_counts(query)
+            assert counts == service.sub_plan_cards(query)
+            # Sanity: leaves count whole tables.
+            assert counts[frozenset({"users"})] == 500
+            assert counts[frozenset({"posts"})] == 2_000
+
+    def test_rejects_malformed_identifier(self):
+        database = make_tiny_db()
+        bad = TableSchema(
+            'users"; DROP TABLE users; --',
+            (ColumnMeta("Id", is_key=True, filterable=False),),
+        )
+        database.tables['users"; DROP TABLE users; --'] = Table.from_arrays(
+            bad, {"Id": np.arange(1)}
+        )
+        with pytest.raises(ValueError, match="not a valid"):
+            SQLiteOracle(database)
+
+
+class TestNullJoinKeys:
+    """NULL = NULL must never match, on either or both join sides."""
+
+    def test_nulls_on_both_sides_never_match(self):
+        # 3 non-NULL matches; the NULL-NULL pair (index 3) must not join.
+        database = _two_table_db(
+            left_values=[1, 2, 3, 0],
+            left_nulls=[False, False, False, True],
+            right_values=[1, 2, 3, 0],
+            right_nulls=[False, False, False, True],
+        )
+        query = _join_query()
+        service = TrueCardinalityService(database)
+        with SQLiteOracle(database) as oracle:
+            expected = oracle.count_query(query)
+        assert expected == 3
+        assert service.cardinality(query) == 3
+
+    def test_null_join_count_matches_oracle_for_every_join_method(self):
+        rng = np.random.default_rng(42)
+        left = rng.integers(0, 5, 30)
+        right = rng.integers(0, 5, 40)
+        database = _two_table_db(
+            left_values=left,
+            left_nulls=rng.random(30) < 0.3,
+            right_values=right,
+            right_nulls=rng.random(40) < 0.3,
+        )
+        query = _join_query()
+        service = TrueCardinalityService(database)
+        cards = {
+            s: float(c) for s, c in service.sub_plan_cards(query).items()
+        }
+        with SQLiteOracle(database) as oracle:
+            expected = oracle.count_query(query)
+        # Exercise the executor through the planner's plan as well as
+        # the counting path.
+        plan = Planner(database).plan(query, cards).plan
+        assert Executor(database).count(plan) == expected
+        assert service.cardinality(query) == expected
+        # And through every join method explicitly, both orientations:
+        # NULL keys must be dropped on build and probe sides alike.
+        from repro.engine.plans import (
+            JOIN_HASH,
+            JOIN_INDEX_NL,
+            JOIN_MERGE,
+            JoinNode,
+            ScanNode,
+        )
+
+        edge = query.join_edges[0]
+        executor = Executor(database)
+        for outer, inner in (("a", "b"), ("b", "a")):
+            oriented = edge if edge.left == outer else edge.reversed()
+            for method in (JOIN_HASH, JOIN_MERGE, JOIN_INDEX_NL):
+                node = JoinNode(
+                    tables=frozenset({"a", "b"}),
+                    left=ScanNode(
+                        tables=frozenset({outer}), table=outer
+                    ),
+                    right=ScanNode(
+                        tables=frozenset({inner}), table=inner
+                    ),
+                    edge=oriented,
+                    method=method,
+                )
+                assert executor.count(node) == expected, (outer, method)
+
+
+class TestEmptyRelations:
+    def test_join_over_empty_table_is_zero_everywhere(self):
+        database = _two_table_db(
+            left_values=np.empty(0, dtype=np.int64),
+            left_nulls=np.empty(0, dtype=bool),
+            right_values=[1, 2, 3],
+            right_nulls=[False] * 3,
+        )
+        query = _join_query()
+        service = TrueCardinalityService(database)
+        with SQLiteOracle(database) as oracle:
+            counts = oracle.sub_plan_counts(query)
+        assert counts[frozenset({"a"})] == 0
+        assert counts[frozenset({"a", "b"})] == 0
+        assert service.sub_plan_cards(query) == counts
+
+    def test_zero_row_predicate_agrees_with_oracle(self):
+        database = _two_table_db(
+            left_values=[1, 2, 3],
+            left_nulls=[False] * 3,
+            right_values=[1, 2, 3],
+            right_nulls=[False] * 3,
+        )
+        from repro.engine.predicates import Predicate
+
+        query = _join_query(
+            predicates=(Predicate("b", "v", ">", 1_000_000),)
+        )
+        service = TrueCardinalityService(database)
+        with SQLiteOracle(database) as oracle:
+            assert oracle.count_query(query) == 0
+        assert service.cardinality(query) == 0
+
+    def test_q_error_on_true_zero_is_documented_clamp(self):
+        # The engine and the oracle agree the raw count is 0; the
+        # metric layer clamps both operands to >= 1 row (documented
+        # divergence, see repro.core.metrics.q_error).
+        assert q_error(0, 0) == 1.0
+        assert q_error(10, 0) == 10.0
+        # Both operands clamp, so sub-row estimates also floor at 1.
+        assert q_error(0.2, 0) == 1.0
+
+
+class TestOracleTypes:
+    def test_float_columns_round_trip_through_sqlite(self):
+        schema = TableSchema(
+            "f",
+            (
+                ColumnMeta("Id", is_key=True, filterable=False),
+                ColumnMeta("x", kind=ColumnKind.FLOAT),
+            ),
+            primary_key="Id",
+        )
+        values = np.array([1e-7, -2.5, 0.0, 3.25])
+        database = Database(
+            name="floats",
+            tables={
+                "f": Table.from_arrays(
+                    schema, {"Id": np.arange(4), "x": values}
+                )
+            },
+            join_graph=JoinGraph(),
+        )
+        from repro.engine.predicates import Predicate
+
+        query = Query(
+            tables=frozenset({"f"}),
+            predicates=(Predicate("f", "x", "<=", 1e-7),),
+            name="floats",
+        )
+        with SQLiteOracle(database) as oracle:
+            assert oracle.count_query(query) == 3
+        assert TrueCardinalityService(database).cardinality(query) == 3

@@ -104,3 +104,61 @@ class TestTableStats:
         assert set(stats.columns) == {"a", "b"}
         assert stats.num_rows == 50
         assert stats.nbytes() > 0
+
+
+class TestBoundarySelectivity:
+    """Closed-bound behaviour at the histogram edges (the boundary bug
+    the differential oracle surfaced): an interval containing an
+    observed value must never get zero selectivity, and no selectivity
+    may exceed 1."""
+
+    def test_interval_touching_min_is_positive(self):
+        stats = ColumnStats.build(make_table(list(range(100))), "v")
+        assert stats.range_selectivity(-5, 0) > 0.0
+        assert stats.range_selectivity(-1e9, 0) > 0.0
+
+    def test_interval_touching_max_is_positive(self):
+        stats = ColumnStats.build(make_table(list(range(100))), "v")
+        assert stats.range_selectivity(99, 200) > 0.0
+        assert stats.range_selectivity(99, 1e9) > 0.0
+
+    def test_eq_at_extremes_is_positive(self):
+        stats = ColumnStats.build(make_table(list(range(100))), "v")
+        assert stats.eq_selectivity(0) > 0.0
+        assert stats.eq_selectivity(99) > 0.0
+        assert stats.range_selectivity(0, 0) > 0.0
+        assert stats.range_selectivity(99, 99) > 0.0
+
+    def test_outside_domain_stays_zero(self):
+        stats = ColumnStats.build(make_table(list(range(100))), "v")
+        assert stats.range_selectivity(-10, -1) == 0.0
+        assert stats.range_selectivity(100, 200) == 0.0
+
+    def test_positive_with_nulls_present(self):
+        values = list(range(50)) * 2
+        nulls = [i % 2 == 0 for i in range(100)]
+        stats = ColumnStats.build(make_table(values, nulls=nulls), "v")
+        assert stats.range_selectivity(49, 100) > 0.0
+        # 0 only occurs at NULL positions here, so min_value is 1.
+        assert stats.range_selectivity(-100, 1) > 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.integers(-50, 50), min_size=1, max_size=200),
+    low=st.integers(-60, 60),
+    width=st.integers(0, 60),
+)
+def test_range_selectivity_boundary_properties(values, low, width):
+    """Properties checked against exact counts: never 0 when matching
+    rows exist, never above 1, and 0 when the interval misses the
+    observed domain entirely."""
+    stats = ColumnStats.build(make_table(values), "v")
+    high = low + width
+    matches = sum(low <= v <= high for v in values)
+    selectivity = stats.range_selectivity(low, high)
+    assert 0.0 <= selectivity <= 1.0
+    if matches > 0 and (low <= min(values) <= high or low <= max(values) <= high):
+        assert selectivity > 0.0
+    if high < min(values) or low > max(values):
+        assert selectivity == 0.0
