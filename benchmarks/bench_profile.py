@@ -1,0 +1,105 @@
+"""Micro-benchmark: continuous-profiling layer (sampler + phase attribution).
+
+Three committed contracts:
+
+- the ~100 Hz stack sampler stays within 2% of an unsampled run
+  (best-of interleaved cycles, the same drift-suppression protocol as
+  the other overhead benchmarks) — report written to
+  ``benchmarks/BENCH_profile.json``,
+- a sampled + phase-attributed smoke campaign produces non-empty
+  collapsed stacks and wall/CPU/peak-memory stats for every pipeline
+  phase (this is the "fast profile smoke" CI runs on every push), and
+- the baseline comparator passes an unchanged rerun and fails an
+  injected >= 20% regression — the mechanics behind the
+  ``repro profile --baselines`` gate and ``benchmarks/BASELINES.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.overhead import measure_sampler_overhead
+from repro.obs.prof import baseline as prof_baseline
+from repro.obs.prof import phases as prof_phases
+from repro.obs.prof.sampler import StackSampler
+
+REPORT_PATH = Path(__file__).parent / "BENCH_profile.json"
+BASELINES_PATH = Path(__file__).parent / "BASELINES.json"
+
+SMOKE_QUERIES = 5
+
+
+def _smoke_campaign(context, workers: int = 1):
+    """Run PostgreSQL over the first few STATS-CEB queries, profiled."""
+    workload = context.workload("stats-ceb")
+    estimator = context.fitted_estimator("PostgreSQL", "stats-ceb")
+    profiler = prof_phases.activate()
+    sampler = StackSampler(interval_seconds=0.005)
+    try:
+        with sampler:
+            run = context.benchmark("stats-ceb").run(
+                estimator,
+                queries=workload.queries[:SMOKE_QUERIES],
+                workers=workers,
+            )
+    finally:
+        snapshot = profiler.snapshot()
+        prof_phases.deactivate()
+    return run, snapshot, sampler
+
+
+def test_sampler_overhead_report(context):
+    database = context.database("stats")
+    report = measure_sampler_overhead(database, repeats=40)
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nsampler overhead: {report['overhead_sampler'] * 100:+.2f}% "
+        f"({report['samples']} samples at "
+        f"{1.0 / report['interval_seconds']:.0f} Hz, "
+        f"baseline {report['baseline_seconds'] * 1000:.3f} ms)"
+    )
+    assert report["samples"] > 0
+    assert report["overhead_sampler"] < 0.02
+
+
+def test_profile_smoke_campaign(context):
+    """Fast profile smoke: sampled 5-query campaign, phases attributed."""
+    run, snapshot, sampler = _smoke_campaign(context)
+    assert len(run.query_runs) == SMOKE_QUERIES
+
+    assert sampler.sample_count > 0
+    collapsed = sampler.collapsed()
+    assert collapsed.strip(), "sampler produced no stacks"
+
+    stats = snapshot["phases"]["PostgreSQL"]
+    for phase in ("inference", "planning", "execution"):
+        assert stats[phase]["count"] == SMOKE_QUERIES
+        assert stats[phase]["wall_seconds"] >= 0.0
+        assert stats[phase]["cpu_seconds"] >= 0.0
+    print(
+        "\n" + prof_phases.render_phase_table(snapshot)
+        + f"\n{sampler.sample_count} samples"
+    )
+
+
+def test_baseline_gate_mechanics(context):
+    """Unchanged rerun passes; an injected >= 20% regression fails."""
+    run, _, _ = _smoke_campaign(context)
+    metrics = prof_baseline.metrics_from_estimator_run(run)
+    baselines = {"profile/PostgreSQL/stats-ceb": metrics}
+
+    unchanged = prof_baseline.compare_to_baselines(
+        {"profile/PostgreSQL/stats-ceb": dict(metrics)}, baselines
+    )
+    assert unchanged.ok, unchanged.regressions
+
+    slowed = {
+        name: value * 1.25 for name, value in metrics.items()
+    }
+    regressed = prof_baseline.compare_to_baselines(
+        {"profile/PostgreSQL/stats-ceb": slowed}, baselines
+    )
+    assert not regressed.ok
+    report = prof_baseline.render_regression_markdown(regressed)
+    assert "FAIL" in report

@@ -47,6 +47,7 @@ from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
 from repro.obs import trace as obs_trace
+from repro.obs.prof import phases as prof_phases
 from repro.resilience.fallback import PostgresDefaultFallback
 from repro.resilience.policy import (
     Deadline,
@@ -452,13 +453,14 @@ class EndToEndBenchmark:
             # latency histogram; on the no-fault path the estimates are
             # identical to the historical estimate_sub_plans loop.
             started = time.perf_counter()
-            inference = resilient_sub_plan_estimates(
-                estimator,
-                query,
-                fallback=self._fallback,
-                retry=retry,
-                deadline=deadline,
-            )
+            with prof_phases.phase("inference", estimator=estimator.name):
+                inference = resilient_sub_plan_estimates(
+                    estimator,
+                    query,
+                    fallback=self._fallback,
+                    retry=retry,
+                    deadline=deadline,
+                )
             inference_seconds = time.perf_counter() - started
             estimates = inference.cards
             attempts = max(attempts, inference.max_attempts)
@@ -468,7 +470,9 @@ class EndToEndBenchmark:
 
             started = time.perf_counter()
             planned = None
-            with obs_trace.span("planning", query=query.name):
+            with obs_trace.span("planning", query=query.name), prof_phases.phase(
+                "planning", estimator=estimator.name
+            ):
                 try:
                     planned, planning_attempts = call_with_retry(
                         lambda: self._planner.plan(query, estimates),
@@ -523,7 +527,11 @@ class EndToEndBenchmark:
                         planned.plan, timeout_seconds=budget
                     )
 
-                with obs_trace.span("execution", query=query.name) as execution_span:
+                with obs_trace.span(
+                    "execution", query=query.name
+                ) as execution_span, prof_phases.phase(
+                    "execution", estimator=estimator.name
+                ):
                     try:
                         execution, execution_attempts = call_with_retry(
                             execute_once,

@@ -6,13 +6,17 @@ Dependency-free instrumentation for the benchmark platform:
 - :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms,
 - :mod:`repro.obs.events` — leveled, run-scoped JSONL structured events,
 - :mod:`repro.obs.progress` — live campaign progress, Prometheus-text
-  export and an optional stdlib HTTP ``/metrics`` + ``/progress``
-  endpoint,
+  export and an optional stdlib HTTP ``/metrics`` + ``/progress`` +
+  ``/healthz`` endpoint,
 - :mod:`repro.obs.blame` — misestimation attribution: which sub-plan
   estimates caused a bad plan,
 - :mod:`repro.obs.dashboard` — self-contained HTML campaign report,
 - :mod:`repro.obs.manifest` — machine-readable ``run_manifest.json``,
-- :mod:`repro.obs.overhead` — self-measurement of instrumentation cost.
+- :mod:`repro.obs.overhead` — self-measurement of instrumentation cost,
+- :mod:`repro.obs.prof` — continuous profiling (sampling stack
+  profiler + flamegraphs, per-phase wall/CPU/memory attribution) and
+  the performance-regression observatory (``benchmarks/BASELINES.json``
+  + comparator behind ``repro profile``).
 
 Everything is **off by default**: :func:`repro.obs.trace.span`,
 :func:`repro.obs.events.emit` and the progress hooks are shared no-ops

@@ -268,6 +268,63 @@ def _events_section(events: list[dict]) -> list[str]:
     return lines
 
 
+def _phases_section(manifest: dict) -> list[str]:
+    """Per-estimator phase attribution table (wall / CPU / peak memory)."""
+    profile = manifest.get("phase_profile") or {}
+    phases = profile.get("phases") or {}
+    if not phases:
+        return []
+    lines = [
+        "<h2>Phase profile (from manifest)</h2>",
+        "<table>",
+        "<tr><th>estimator</th><th>phase</th><th>count</th>"
+        "<th>wall s</th><th>CPU s</th><th>peak MiB</th></tr>",
+    ]
+    for estimator in sorted(phases):
+        for name, payload in sorted(phases[estimator].items()):
+            lines.append(
+                "<tr>"
+                f"<td>{_esc(estimator)}</td>"
+                f"<td>{_esc(name)}</td>"
+                f'<td class="num">{payload.get("count", 0)}</td>'
+                f'<td class="num">{_fmt(payload.get("wall_seconds"), 4)}</td>'
+                f'<td class="num">{_fmt(payload.get("cpu_seconds"), 4)}</td>'
+                f'<td class="num">'
+                f"{_fmt(payload.get('peak_bytes', 0) / 1048576.0, 2)}</td>"
+                "</tr>"
+            )
+    lines.append("</table>")
+    parallel = profile.get("parallel")
+    if parallel:
+        lines.append(
+            f'<p class="muted">Parallel section: '
+            f"{_fmt(parallel.get('wall_seconds'), 3)}s wall × "
+            f"{parallel.get('workers')} workers; "
+            f"{_fmt(parallel.get('compute_wall_seconds'), 3)}s worker compute, "
+            f"{_fmt(parallel.get('dispatch_overhead_seconds'), 3)}s "
+            "dispatch/idle overhead.</p>"
+        )
+    workers = profile.get("workers") or {}
+    if workers:
+        lines.append("<table>")
+        lines.append(
+            "<tr><th>worker</th><th>tasks</th><th>compute wall s</th>"
+            "<th>CPU s</th></tr>"
+        )
+        for worker in sorted(workers):
+            entry = workers[worker]
+            lines.append(
+                "<tr>"
+                f"<td>{_esc(worker)}</td>"
+                f'<td class="num">{entry.get("tasks", 0)}</td>'
+                f'<td class="num">{_fmt(entry.get("compute_wall_seconds"), 3)}</td>'
+                f'<td class="num">{_fmt(entry.get("cpu_seconds"), 3)}</td>'
+                "</tr>"
+            )
+        lines.append("</table>")
+    return lines
+
+
 def _metrics_section(manifest: dict) -> list[str]:
     counters = manifest.get("metrics", {}).get("counters", {})
     if not counters:
@@ -339,6 +396,7 @@ def render_dashboard(
         body.extend(_blame_section(blame_payload))
     body.extend(_events_section(events))
     if manifest:
+        body.extend(_phases_section(manifest))
         body.extend(_metrics_section(manifest))
     if len(body) <= 2:
         body.append("<p>No campaign artifacts found.</p>")

@@ -1,0 +1,44 @@
+"""Continuous profiling + performance-regression observatory.
+
+The rest of :mod:`repro.obs` answers *what happened* (spans, events,
+metrics); this subpackage answers *where the time and memory went* and
+*whether a change made things slower*:
+
+- :mod:`repro.obs.prof.sampler` — a thread-based sampling stack
+  profiler (~100 Hz over ``sys._current_frames()``), span-scoped when a
+  tracer is active, emitting collapsed-stack output,
+- :mod:`repro.obs.prof.flamegraph` — a self-contained flamegraph HTML
+  renderer over collapsed stacks (no external assets),
+- :mod:`repro.obs.prof.phases` — per-phase wall / CPU / peak-memory
+  attribution (labelling, inference, planning, execution), recorded
+  per estimator and mergeable across fork workers,
+- :mod:`repro.obs.prof.baseline` — a perf-baseline store
+  (``benchmarks/BASELINES.json``) and a noise-tolerant comparator that
+  turns timing drift into a gating markdown regression report.
+
+Like every other obs module, the hooks are no-ops until activated, so
+profiling costs one global read on unprofiled runs.
+"""
+
+from repro.obs.prof.baseline import (
+    BaselineComparison,
+    compare_to_baselines,
+    load_baselines,
+    render_regression_markdown,
+    save_baselines,
+)
+from repro.obs.prof.flamegraph import render_flamegraph_html, write_flamegraph
+from repro.obs.prof.phases import PhaseProfiler
+from repro.obs.prof.sampler import StackSampler
+
+__all__ = [
+    "BaselineComparison",
+    "PhaseProfiler",
+    "StackSampler",
+    "compare_to_baselines",
+    "load_baselines",
+    "render_flamegraph_html",
+    "render_regression_markdown",
+    "save_baselines",
+    "write_flamegraph",
+]

@@ -1,0 +1,218 @@
+"""Perf-baseline store and noise-tolerant regression comparator.
+
+``benchmarks/BASELINES.json`` records, per benchmark name, the metric
+values a healthy run produces (``{bench: {metric: value}}``).  A later
+run compares its metrics against the stored baselines with a ratio
+threshold: a *regression* is a worse-than-baseline change beyond the
+threshold, an *improvement* a better-than-baseline change beyond it,
+anything inside the band is noise and passes.
+
+Metric direction is inferred from the name: metrics ending in ``qps``,
+``_throughput`` or ``_per_second`` are higher-is-better; everything
+else (seconds, bytes, counts) is lower-is-better.  Tiny absolute
+values are exempted via ``min_value`` — a 0.3 ms phase doubling to
+0.6 ms is scheduler noise, not a regression worth gating on.
+
+The comparator returns a :class:`BaselineComparison` whose ``ok``
+property gates CI (``repro profile --baselines`` exits non-zero on any
+regression) and renders as a markdown report for artifact tabs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: A change must exceed baseline × (1 ± threshold) to count; 0.2 is
+#: the ≥20% gate the observatory promises.
+DEFAULT_RATIO_THRESHOLD = 0.2
+
+#: Metrics whose absolute value is below this are never flagged
+#: (sub-millisecond timings are dominated by scheduler noise).
+DEFAULT_MIN_VALUE = 1e-3
+
+_HIGHER_IS_BETTER_SUFFIXES = ("qps", "_throughput", "_per_second")
+
+
+def higher_is_better(metric: str) -> bool:
+    return metric.endswith(_HIGHER_IS_BETTER_SUFFIXES)
+
+
+@dataclass
+class MetricDelta:
+    """One metric's comparison against its baseline."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        direction = "higher" if self.ratio >= 1.0 else "lower"
+        return (
+            f"{self.bench}:{self.metric} {self.baseline:.6g} -> "
+            f"{self.current:.6g} ({self.ratio:.2f}x, {direction})"
+        )
+
+
+@dataclass
+class BaselineComparison:
+    """Outcome of comparing one run's metrics against the store."""
+
+    ratio_threshold: float
+    regressions: list[MetricDelta] = field(default_factory=list)
+    improvements: list[MetricDelta] = field(default_factory=list)
+    unchanged: list[MetricDelta] = field(default_factory=list)
+    missing_baselines: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def compared(self) -> int:
+        return len(self.regressions) + len(self.improvements) + len(self.unchanged)
+
+
+def load_baselines(path: str | Path) -> dict:
+    """Load ``{bench: {metric: value}}``; a missing file is empty."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text())
+    version = payload.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: baseline schema {version!r} is not supported "
+            f"(expected {BASELINE_SCHEMA_VERSION})"
+        )
+    return payload.get("baselines", {})
+
+
+def save_baselines(path: str | Path, baselines: dict, note: str = "") -> Path:
+    """Write the baseline store as sorted JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "updated_unix": time.time(),
+        "note": note,
+        "baselines": {
+            bench: {metric: float(value) for metric, value in sorted(metrics.items())}
+            for bench, metrics in sorted(baselines.items())
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_to_baselines(
+    current: dict,
+    baselines: dict,
+    ratio_threshold: float = DEFAULT_RATIO_THRESHOLD,
+    min_value: float = DEFAULT_MIN_VALUE,
+) -> BaselineComparison:
+    """Compare ``{bench: {metric: value}}`` against the stored baselines.
+
+    Metrics without a baseline are listed as missing (and pass) so a
+    new benchmark can land before its first ``--update-baselines``.
+    """
+    comparison = BaselineComparison(ratio_threshold=ratio_threshold)
+    for bench in sorted(current):
+        for metric in sorted(current[bench]):
+            value = float(current[bench][metric])
+            baseline = baselines.get(bench, {}).get(metric)
+            if baseline is None:
+                comparison.missing_baselines.append((bench, metric))
+                continue
+            delta = MetricDelta(
+                bench=bench, metric=metric, baseline=float(baseline), current=value
+            )
+            if max(abs(delta.baseline), abs(delta.current)) < min_value:
+                comparison.unchanged.append(delta)
+                continue
+            worse = (
+                delta.ratio < 1.0 - ratio_threshold
+                if higher_is_better(metric)
+                else delta.ratio > 1.0 + ratio_threshold
+            )
+            better = (
+                delta.ratio > 1.0 + ratio_threshold
+                if higher_is_better(metric)
+                else delta.ratio < 1.0 - ratio_threshold
+            )
+            if worse:
+                comparison.regressions.append(delta)
+            elif better:
+                comparison.improvements.append(delta)
+            else:
+                comparison.unchanged.append(delta)
+    return comparison
+
+
+def render_regression_markdown(comparison: BaselineComparison) -> str:
+    """Markdown regression report (the CI artifact / PR comment body)."""
+    lines = ["# Performance baseline comparison", ""]
+    verdict = "PASS" if comparison.ok else "FAIL"
+    lines.append(
+        f"**{verdict}** — {comparison.compared} metrics compared at a "
+        f"±{comparison.ratio_threshold * 100:.0f}% threshold: "
+        f"{len(comparison.regressions)} regressions, "
+        f"{len(comparison.improvements)} improvements, "
+        f"{len(comparison.unchanged)} within noise, "
+        f"{len(comparison.missing_baselines)} without baselines."
+    )
+
+    def table(deltas: list[MetricDelta]) -> list[str]:
+        rows = [
+            "",
+            "| bench | metric | baseline | current | ratio |",
+            "| --- | --- | ---: | ---: | ---: |",
+        ]
+        for delta in deltas:
+            rows.append(
+                f"| {delta.bench} | {delta.metric} | {delta.baseline:.6g} "
+                f"| {delta.current:.6g} | {delta.ratio:.2f}x |"
+            )
+        return rows
+
+    if comparison.regressions:
+        lines.append("")
+        lines.append("## Regressions")
+        lines.extend(table(comparison.regressions))
+    if comparison.improvements:
+        lines.append("")
+        lines.append("## Improvements")
+        lines.extend(table(comparison.improvements))
+    if comparison.missing_baselines:
+        lines.append("")
+        lines.append("## No baseline yet")
+        lines.append("")
+        for bench, metric in comparison.missing_baselines:
+            lines.append(f"- `{bench}:{metric}` (run `--update-baselines` to record)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def metrics_from_estimator_run(run) -> dict:
+    """Phase-total metrics for one ``EstimatorRun`` (baseline currency).
+
+    Duck-typed so cached runs loaded from disk work too.  Keys follow
+    the lower-is-better convention the comparator infers from names.
+    """
+    return {
+        "inference_seconds": run.total_inference_seconds(),
+        "planning_seconds": run.total_planning_seconds(),
+        "execution_seconds": run.total_execution_seconds(),
+        "end_to_end_seconds": run.total_end_to_end_seconds(),
+    }

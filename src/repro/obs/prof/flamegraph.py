@@ -1,0 +1,179 @@
+"""Self-contained flamegraph HTML over collapsed stacks.
+
+Renders the classic icicle layout (roots on top, callees below, width
+proportional to samples) as one static HTML file: nested absolutely
+positioned ``<div>``s, inline CSS, and a dozen lines of vanilla
+JavaScript for click-to-zoom — no external assets, openable from disk
+or a CI artifact tab, exactly like :mod:`repro.obs.dashboard`.
+
+Input is whatever :meth:`StackSampler.stack_counts` produced (or any
+``{("a","b","c"): count}`` mapping / collapsed-stack text re-parsed by
+:func:`repro.obs.prof.sampler.parse_collapsed`).
+"""
+
+from __future__ import annotations
+
+import html
+import time
+import zlib
+from collections import Counter
+from pathlib import Path
+
+#: Frames narrower than this fraction of the root are pruned from the
+#: HTML (they would render as invisible slivers and bloat the file).
+_MIN_FRACTION = 0.002
+
+#: Deterministic warm palette cycled by depth + name hash.
+_PALETTE = (
+    "#d9534f", "#e0673f", "#e67e33", "#eb9430", "#eda93a",
+    "#edbd4e", "#d9b23c", "#c8a232", "#e3742f", "#dd5f3b",
+)
+
+
+class _Node:
+    __slots__ = ("name", "count", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.children: dict[str, _Node] = {}
+
+    def child(self, name: str) -> "_Node":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = _Node(name)
+        return node
+
+
+def _build_tree(counts: dict) -> _Node:
+    root = _Node("all")
+    for stack, count in counts.items():
+        count = int(count)
+        if count <= 0:
+            continue
+        root.count += count
+        node = root
+        for frame in stack:
+            node = node.child(frame)
+            node.count += count
+    return root
+
+
+def _color(name: str, depth: int) -> str:
+    # crc32 keeps colors stable across processes (hash() is salted).
+    return _PALETTE[(zlib.crc32(name.encode()) ^ depth) % len(_PALETTE)]
+
+
+def _render_node(
+    node: _Node, depth: int, left: float, total: int, lines: list[str]
+) -> None:
+    width = 100.0 * node.count / total
+    if node.count / total < _MIN_FRACTION:
+        return
+    label = html.escape(node.name)
+    percent = 100.0 * node.count / total
+    lines.append(
+        f'<div class="frame" style="left:{left:.4f}%;top:{depth * 17}px;'
+        f"width:{width:.4f}%;background:{_color(node.name, depth)}\" "
+        f'title="{label} — {node.count} samples ({percent:.1f}%)">'
+        f"<span>{label}</span></div>"
+    )
+    child_left = left
+    for child in sorted(node.children.values(), key=lambda c: (-c.count, c.name)):
+        _render_node(child, depth + 1, child_left, total, lines)
+        child_left += 100.0 * child.count / total
+
+
+def _depth(node: _Node) -> int:
+    if not node.children:
+        return 1
+    return 1 + max(_depth(child) for child in node.children.values())
+
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a2330; }
+h1 { font-size: 1.3rem; }
+.muted { color: #68727f; font-size: 0.85rem; }
+#graph { position: relative; width: 100%; }
+.frame { position: absolute; height: 16px; box-sizing: border-box;
+         border: 1px solid rgba(255,255,255,0.55); border-radius: 2px;
+         overflow: hidden; white-space: nowrap; cursor: pointer;
+         font-size: 11px; line-height: 14px; color: #2b1500; }
+.frame span { padding-left: 3px; pointer-events: none; }
+.frame:hover { filter: brightness(1.12); }
+"""
+
+_SCRIPT = """
+// Click-to-zoom: scale horizontally so the clicked frame spans the
+// full width; click the background (or the root) to reset.
+const graph = document.getElementById('graph');
+graph.addEventListener('click', (event) => {
+  const frame = event.target.closest('.frame');
+  const reset = !frame || frame === graph.firstElementChild;
+  const left = reset ? 0 : parseFloat(frame.dataset.left ?? frame.style.left);
+  const width = reset ? 100 : parseFloat(frame.dataset.width ?? frame.style.width);
+  for (const el of graph.children) {
+    el.dataset.left ??= el.style.left;
+    el.dataset.width ??= el.style.width;
+    const elLeft = parseFloat(el.dataset.left);
+    const elWidth = parseFloat(el.dataset.width);
+    const newLeft = (elLeft - left) * (100 / width);
+    const newWidth = elWidth * (100 / width);
+    el.style.left = newLeft + '%';
+    el.style.width = newWidth + '%';
+    el.style.visibility =
+      (newLeft + newWidth <= 0 || newLeft >= 100) ? 'hidden' : 'visible';
+  }
+});
+"""
+
+
+def render_flamegraph_html(
+    counts: Counter | dict,
+    title: str = "repro flamegraph",
+    subtitle: str = "",
+) -> str:
+    """Render collapsed-stack counts as one self-contained HTML page."""
+    counts = {tuple(stack): count for stack, count in dict(counts).items()}
+    tree = _build_tree(counts)
+    body: list[str] = [f"<h1>{html.escape(title)}</h1>"]
+    if subtitle:
+        body.append(f'<p class="muted">{html.escape(subtitle)}</p>')
+    if tree.count == 0:
+        body.append("<p>No samples recorded.</p>")
+        graph_height = 0
+    else:
+        lines: list[str] = []
+        _render_node(tree, 0, 0.0, tree.count, lines)
+        graph_height = _depth(tree) * 17 + 4
+        body.append(
+            f'<p class="muted">{tree.count} samples — click a frame to zoom, '
+            "the background to reset.</p>"
+        )
+        body.append(
+            f'<div id="graph" style="height:{graph_height}px">'
+            + "".join(lines)
+            + "</div>"
+        )
+        body.append(f"<script>{_SCRIPT}</script>")
+    generated = time.strftime("%Y-%m-%d %H:%M:%S")
+    body.append(f'<p class="muted">Generated {generated}.</p>')
+    return (
+        "<!doctype html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_STYLE}</style></head>\n"
+        "<body>\n" + "\n".join(body) + "\n</body></html>\n"
+    )
+
+
+def write_flamegraph(
+    path: str | Path,
+    counts: Counter | dict,
+    title: str = "repro flamegraph",
+    subtitle: str = "",
+) -> Path:
+    """Render and write the flamegraph HTML; returns the output path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_flamegraph_html(counts, title=title, subtitle=subtitle))
+    return path

@@ -1,0 +1,321 @@
+"""Per-phase wall / CPU / peak-memory attribution.
+
+The paper's practicality story (Table 3, Figure 3) splits end-to-end
+time into *inference*, *planning* and *execution*; the benchmark
+driver already times those phases per query with ``perf_counter``.
+This module deepens that split into a resource profile: for every
+campaign phase — ``labelling`` (workload ground truth), ``inference``,
+``planning``, ``execution`` — it records
+
+- **wall seconds** (``time.perf_counter``),
+- **CPU seconds of the running thread** (``time.thread_time``, so a
+  blocked phase shows wall ≫ cpu), and
+- **peak traced memory** (``tracemalloc`` peak delta, when the
+  profiler owns tracing),
+
+keyed by ``(estimator, phase)`` and aggregated across queries.  Fork
+workers run their own profiler (inherited activation, fresh state per
+task) and ship a :meth:`PhaseProfiler.dump` back with each result; the
+parent merges dumps per worker, which is what splits the parallel
+slowdown into *compute* (inside workers) vs *dispatch/idle* (the gap
+between worker compute and the pool's wall time).
+
+Module-level hooks follow the obs convention: :func:`phase` is a
+shared no-op until :func:`activate` installs a profiler, so the
+benchmark hot path pays one global read when profiling is off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from contextlib import contextmanager
+from pathlib import Path
+
+#: Canonical campaign phases, in pipeline order (used for rendering;
+#: unknown phase names are accepted and sorted after these).
+CAMPAIGN_PHASES = ("labelling", "inference", "planning", "execution")
+
+#: Estimator key used for phases that run outside any estimator
+#: (workload labelling happens before estimators exist).
+WORKLOAD_SCOPE = "(workload)"
+
+
+class PhaseStat:
+    """Accumulated cost of one (estimator, phase) pair."""
+
+    __slots__ = ("count", "wall_seconds", "cpu_seconds", "peak_bytes")
+
+    def __init__(self):
+        self.count = 0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.peak_bytes = 0
+
+    def add(self, wall: float, cpu: float, peak: int) -> None:
+        self.count += 1
+        self.wall_seconds += max(0.0, wall)
+        self.cpu_seconds += max(0.0, cpu)
+        self.peak_bytes = max(self.peak_bytes, max(0, peak))
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "peak_bytes": self.peak_bytes,
+        }
+
+
+class PhaseProfiler:
+    """Collects phase stats; optionally owns tracemalloc while active.
+
+    ``trace_memory=True`` (the default) starts ``tracemalloc`` if no
+    one else is tracing and records the per-phase peak allocation
+    delta; when another component already owns tracing, peaks are
+    still read but tracing is left untouched on close.
+    """
+
+    def __init__(self, trace_memory: bool = True):
+        self._stats: dict[tuple[str, str], PhaseStat] = {}
+        self._workers: dict[str, dict] = {}
+        self._parallel: dict | None = None
+        self._owns_tracemalloc = False
+        if trace_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+        self._trace_memory = trace_memory
+
+    def close(self) -> None:
+        """Stop tracemalloc if this profiler started it."""
+        if self._owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._owns_tracemalloc = False
+
+    # -- recording ---------------------------------------------------------
+
+    def _stat(self, estimator: str, phase: str) -> PhaseStat:
+        key = (estimator or WORKLOAD_SCOPE, phase)
+        stat = self._stats.get(key)
+        if stat is None:
+            stat = self._stats[key] = PhaseStat()
+        return stat
+
+    @contextmanager
+    def phase(self, name: str, estimator: str = ""):
+        """Time the enclosed block as one occurrence of ``name``."""
+        tracing = self._trace_memory and tracemalloc.is_tracing()
+        if tracing:
+            tracemalloc.reset_peak()
+            baseline_bytes, _ = tracemalloc.get_traced_memory()
+        wall_started = time.perf_counter()
+        cpu_started = time.thread_time()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - wall_started
+            cpu = time.thread_time() - cpu_started
+            peak = 0
+            if tracing:
+                _, peak_bytes = tracemalloc.get_traced_memory()
+                peak = peak_bytes - baseline_bytes
+            self._stat(estimator, name).add(wall, cpu, peak)
+
+    def record(
+        self,
+        name: str,
+        estimator: str,
+        wall_seconds: float,
+        cpu_seconds: float = 0.0,
+        peak_bytes: int = 0,
+    ) -> None:
+        """Record an externally measured phase occurrence."""
+        self._stat(estimator, name).add(wall_seconds, cpu_seconds, peak_bytes)
+
+    def note_worker(self, worker: int | str, dump: dict) -> None:
+        """Fold one fork worker's dump in, keeping its per-worker totals."""
+        self.merge(dump)
+        entry = self._workers.setdefault(
+            str(worker), {"tasks": 0, "compute_wall_seconds": 0.0, "cpu_seconds": 0.0}
+        )
+        entry["tasks"] += 1
+        for stats in dump.get("phases", {}).values():
+            for payload in stats.values():
+                entry["compute_wall_seconds"] += payload.get("wall_seconds", 0.0)
+                entry["cpu_seconds"] += payload.get("cpu_seconds", 0.0)
+
+    def note_parallel_section(self, wall_seconds: float, workers: int) -> None:
+        """Record the wall time of one parallel dispatch section.
+
+        With the per-worker compute totals this is what makes the
+        fork-pool slowdown diagnosable: ``dispatch_overhead_seconds``
+        is pool wall-clock × workers minus the compute that actually
+        happened inside the workers — time lost to queueing, pickling
+        and idle waiting.
+        """
+        self._parallel = {
+            "wall_seconds": max(0.0, wall_seconds),
+            "workers": max(1, int(workers)),
+        }
+
+    # -- views / transport -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable per-estimator, per-phase profile."""
+        phases: dict[str, dict[str, dict]] = {}
+        for (estimator, phase), stat in sorted(self._stats.items()):
+            phases.setdefault(estimator, {})[phase] = stat.to_dict()
+        view: dict = {"phases": phases}
+        if self._workers:
+            view["workers"] = {
+                worker: dict(entry) for worker, entry in sorted(self._workers.items())
+            }
+        if self._parallel is not None:
+            compute = sum(
+                entry["compute_wall_seconds"] for entry in self._workers.values()
+            )
+            capacity = self._parallel["wall_seconds"] * self._parallel["workers"]
+            view["parallel"] = {
+                **self._parallel,
+                "compute_wall_seconds": compute,
+                "dispatch_overhead_seconds": max(0.0, capacity - compute),
+            }
+        return view
+
+    def dump(self) -> dict:
+        """Lossless transport form (same shape as :meth:`snapshot`)."""
+        return self.snapshot()
+
+    def merge(self, dump: dict) -> None:
+        """Fold another profiler's dump into this one."""
+        for estimator, stats in dump.get("phases", {}).items():
+            for phase, payload in stats.items():
+                stat = self._stat(estimator, phase)
+                stat.count += payload.get("count", 0)
+                stat.wall_seconds += payload.get("wall_seconds", 0.0)
+                stat.cpu_seconds += payload.get("cpu_seconds", 0.0)
+                stat.peak_bytes = max(stat.peak_bytes, payload.get("peak_bytes", 0))
+
+    def reset(self) -> None:
+        self._stats.clear()
+        self._workers.clear()
+        self._parallel = None
+
+
+# -- module-level profiler -----------------------------------------------------
+
+_ACTIVE: PhaseProfiler | None = None
+
+
+def active_profiler() -> PhaseProfiler | None:
+    return _ACTIVE
+
+
+def is_active() -> bool:
+    return _ACTIVE is not None
+
+
+def activate(profiler: PhaseProfiler | None = None) -> PhaseProfiler:
+    """Install ``profiler`` (or a fresh one) as the process profiler."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    _ACTIVE = profiler or PhaseProfiler()
+    return _ACTIVE
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    _ACTIVE = None
+
+
+@contextmanager
+def use_profiler(profiler: PhaseProfiler | None = None):
+    """Scoped activation: ``with use_profiler() as prof: ...``."""
+    installed = activate(profiler)
+    try:
+        yield installed
+    finally:
+        deactivate()
+
+
+class _NullPhase:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+def phase(name: str, estimator: str = ""):
+    """Profile the enclosed block; no-op when profiling is off."""
+    profiler = _ACTIVE
+    if profiler is None:
+        return _NULL_PHASE
+    return profiler.phase(name, estimator=estimator)
+
+
+# -- rendering / files ---------------------------------------------------------
+
+
+def _phase_order(name: str) -> tuple:
+    try:
+        return (CAMPAIGN_PHASES.index(name), name)
+    except ValueError:
+        return (len(CAMPAIGN_PHASES), name)
+
+
+def render_phase_table(view: dict) -> str:
+    """Human-readable per-estimator phase table from a snapshot."""
+    lines: list[str] = []
+    header = (
+        f"{'estimator':<16} {'phase':<12} {'count':>6} "
+        f"{'wall s':>10} {'cpu s':>10} {'peak MiB':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for estimator in sorted(view.get("phases", {})):
+        stats = view["phases"][estimator]
+        for name in sorted(stats, key=_phase_order):
+            payload = stats[name]
+            lines.append(
+                f"{estimator:<16} {name:<12} {payload['count']:>6} "
+                f"{payload['wall_seconds']:>10.4f} {payload['cpu_seconds']:>10.4f} "
+                f"{payload['peak_bytes'] / 1048576.0:>9.2f}"
+            )
+    parallel = view.get("parallel")
+    if parallel:
+        lines.append("")
+        lines.append(
+            f"parallel section: {parallel['wall_seconds']:.3f}s wall x "
+            f"{parallel['workers']} workers, "
+            f"{parallel['compute_wall_seconds']:.3f}s worker compute, "
+            f"{parallel['dispatch_overhead_seconds']:.3f}s dispatch/idle"
+        )
+    for worker, entry in sorted(view.get("workers", {}).items()):
+        lines.append(
+            f"  worker {worker}: {entry['tasks']} tasks, "
+            f"{entry['compute_wall_seconds']:.3f}s wall, "
+            f"{entry['cpu_seconds']:.3f}s cpu"
+        )
+    return "\n".join(lines)
+
+
+def write_phase_profile(path: str | Path, view: dict) -> Path:
+    """Write a snapshot as sorted JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(view, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_phase_profile(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())

@@ -12,7 +12,8 @@ two read-side artifacts:
   atomic ``os.replace`` so scrapers never see a torn file), and
 - an optional **stdlib HTTP endpoint** (:class:`MetricsServer`) serving
   ``/metrics`` (Prometheus exposition text, campaign gauges plus the
-  whole :mod:`repro.obs.metrics` registry) and ``/progress`` (JSON).
+  whole :mod:`repro.obs.metrics` registry), ``/progress`` (JSON) and
+  ``/healthz`` (200 + run id liveness probe).
 
 Like the tracer and the event log, the module-level hooks
 (:func:`record_claim` / :func:`record_result` / …) are no-ops until
@@ -23,6 +24,7 @@ single global read on untelemetered runs.
 from __future__ import annotations
 
 import json
+import math
 import os
 import re
 import threading
@@ -101,22 +103,47 @@ class ProgressTracker:
         return max(0.0, self._clock() - self.started)
 
     def throughput_qps(self) -> float:
-        """Recent completions per second (falls back to overall rate)."""
-        elapsed = self.elapsed_seconds()
-        if len(self._recent) >= 2:
-            span = self._recent[-1] - self._recent[0]
-            if span > 0:
-                return (len(self._recent) - 1) / span
-        if self.done and elapsed > 0:
-            return self.done / elapsed
-        return 0.0
+        """Recent completions per second (falls back to overall rate).
+
+        Contract for live exporters: always a finite, non-negative
+        float — never an exception — even under clock skew, a
+        mid-campaign :meth:`begin`, or a concurrent mutation of the
+        recent-completion window.
+        """
+        try:
+            recent = tuple(self._recent)
+            rate = 0.0
+            if len(recent) >= 2:
+                span = recent[-1] - recent[0]
+                if span > 0:
+                    rate = (len(recent) - 1) / span
+            if rate <= 0:
+                elapsed = self.elapsed_seconds()
+                if self.done > 0 and elapsed > 0:
+                    rate = self.done / elapsed
+            if not math.isfinite(rate) or rate < 0:
+                return 0.0
+            return rate
+        except (ArithmeticError, IndexError):
+            return 0.0
 
     def eta_seconds(self) -> float | None:
-        """Projected seconds to completion, or None before any signal."""
+        """Projected seconds to completion, or None before any signal.
+
+        Same hardening contract as :meth:`throughput_qps`: a finite
+        non-negative float or ``None``, never an exception or a
+        negative projection.
+        """
         rate = self.throughput_qps()
         if rate <= 0:
             return None
-        return self.remaining / rate
+        try:
+            eta = self.remaining / rate
+        except ArithmeticError:
+            return None
+        if not math.isfinite(eta) or eta < 0:
+            return None
+        return eta
 
     def stale_workers(self, max_silence_seconds: float) -> list[int]:
         """Workers silent for longer than ``max_silence_seconds``."""
@@ -283,14 +310,18 @@ class SnapshotWriter:
 
 
 class MetricsServer:
-    """Stdlib HTTP server exposing ``/metrics`` and ``/progress``.
+    """Stdlib HTTP server exposing ``/metrics``, ``/progress``, ``/healthz``.
 
     Runs on a daemon thread; ``address`` reports the bound (host, port)
     so callers (and tests) can pass port 0.  Never required for a
     campaign — the snapshot file covers scrape-from-disk setups.
+    ``/healthz`` answers 200 with the campaign's ``run_id`` whenever the
+    server thread is alive, so external watchdogs can distinguish "the
+    campaign is slow" from "the process is gone".
     """
 
-    def __init__(self, addr: str = "127.0.0.1:9464"):
+    def __init__(self, addr: str = "127.0.0.1:9464", run_id: str = ""):
+        self.run_id = run_id
         host, _, port_text = addr.rpartition(":")
         host = host or "127.0.0.1"
         try:
@@ -308,6 +339,10 @@ class MetricsServer:
                 elif handler.path.rstrip("/") == "/progress":
                     tracker = active_tracker()
                     payload = tracker.snapshot() if tracker is not None else {}
+                    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+                    content_type = "application/json"
+                elif handler.path.rstrip("/") == "/healthz":
+                    payload = {"status": "ok", "run_id": run_id}
                     body = (json.dumps(payload, sort_keys=True) + "\n").encode()
                     content_type = "application/json"
                 else:

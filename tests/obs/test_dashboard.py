@@ -124,3 +124,53 @@ class TestKilledCampaign:
         assert f"1 / {len(subset)} queries completed" in html
         assert "in progress or interrupted" in html
         assert subset[0].query.name in html
+
+
+def test_phase_profile_section_renders_from_manifest(tmp_path):
+    import json
+
+    from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
+
+    manifest_path = tmp_path / "run_manifest.json"
+    manifest_path.write_text(
+        json.dumps(
+            {
+                "schema_version": MANIFEST_SCHEMA_VERSION,
+                "config": {},
+                "runs": [],
+                "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+                "phase_profile": {
+                    "phases": {
+                        "PostgreSQL": {
+                            "execution": {
+                                "count": 5,
+                                "wall_seconds": 1.25,
+                                "cpu_seconds": 1.0,
+                                "peak_bytes": 2097152,
+                            }
+                        }
+                    },
+                    "workers": {
+                        "4242": {
+                            "tasks": 5,
+                            "compute_wall_seconds": 1.2,
+                            "cpu_seconds": 1.0,
+                        }
+                    },
+                    "parallel": {
+                        "wall_seconds": 1.0,
+                        "workers": 2,
+                        "compute_wall_seconds": 1.2,
+                        "dispatch_overhead_seconds": 0.8,
+                    },
+                },
+            }
+        )
+    )
+    html = render_dashboard(manifest_path=manifest_path)
+    assert "Phase profile" in html
+    assert "PostgreSQL" in html and "execution" in html
+    assert "1.2500" in html  # wall seconds
+    assert "2.00" in html  # peak MiB
+    assert "4242" in html  # per-worker row
+    assert "dispatch" in html.lower()

@@ -134,3 +134,46 @@ def test_render_events_one_line_each(tmp_path):
     assert "query.completed" in text
     assert "query=q1" in text
     assert len(text.splitlines()) == 1
+
+
+def test_load_events_under_live_concurrent_writer(tmp_path):
+    """Reading while a writer appends (with torn flushes) never fails.
+
+    A writer thread appends events one byte-chunk at a time — flushing
+    mid-line, so the reader regularly observes a torn tail — while the
+    reader polls ``load_events``.  The contract: every read returns
+    only complete, well-formed events, in order, and the final read
+    (after the writer joins) sees everything.
+    """
+    import threading
+
+    path = tmp_path / "live.jsonl"
+    total = 50
+    written = threading.Event()
+
+    def writer() -> None:
+        with path.open("a", encoding="utf-8") as handle:
+            for index in range(total):
+                line = json.dumps(
+                    {"ts": float(index), "level": "info", "event": f"e{index}"}
+                ) + "\n"
+                # Flush a deliberately torn prefix first so concurrent
+                # reads see an incomplete tail, then complete the line.
+                split = max(1, len(line) // 2)
+                handle.write(line[:split])
+                handle.flush()
+                handle.write(line[split:])
+                handle.flush()
+        written.set()
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        while not written.is_set():
+            events = load_events(path)
+            # Complete events only, in write order, no torn parses.
+            assert all(e["event"] == f"e{i}" for i, e in enumerate(events))
+    finally:
+        thread.join(timeout=10.0)
+    final = load_events(path)
+    assert [e["event"] for e in final] == [f"e{i}" for i in range(total)]

@@ -1,0 +1,139 @@
+"""Perf-baseline store and comparator: thresholds, direction, report."""
+
+import json
+
+import pytest
+
+from repro.obs.prof import baseline as prof_baseline
+from repro.obs.prof.baseline import (
+    compare_to_baselines,
+    higher_is_better,
+    load_baselines,
+    render_regression_markdown,
+    save_baselines,
+)
+
+
+def test_direction_inferred_from_metric_name():
+    assert higher_is_better("campaign_qps")
+    assert higher_is_better("label_throughput")
+    assert higher_is_better("rows_per_second")
+    assert not higher_is_better("execution_seconds")
+    assert not higher_is_better("peak_bytes")
+
+
+def test_store_round_trips_and_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "BASELINES.json"
+    assert load_baselines(path) == {}  # missing file is empty, not an error
+    save_baselines(path, {"b": {"execution_seconds": 1.5}}, note="seed")
+    assert load_baselines(path) == {"b": {"execution_seconds": 1.5}}
+
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] == prof_baseline.BASELINE_SCHEMA_VERSION
+    payload["schema_version"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="schema"):
+        load_baselines(path)
+
+
+def test_unchanged_rerun_passes_and_regression_fails():
+    baselines = {"bench": {"execution_seconds": 1.0, "campaign_qps": 100.0}}
+
+    same = compare_to_baselines({"bench": {"execution_seconds": 1.0}}, baselines)
+    assert same.ok and same.compared == 1
+
+    # 25% slower on a lower-is-better metric: regression.
+    slow = compare_to_baselines({"bench": {"execution_seconds": 1.25}}, baselines)
+    assert not slow.ok
+    assert slow.regressions[0].ratio == pytest.approx(1.25)
+
+    # 25% lower throughput on a higher-is-better metric: regression too.
+    low = compare_to_baselines({"bench": {"campaign_qps": 75.0}}, baselines)
+    assert not low.ok
+
+    # 25% faster / higher: improvement, still ok.
+    fast = compare_to_baselines(
+        {"bench": {"execution_seconds": 0.7, "campaign_qps": 130.0}}, baselines
+    )
+    assert fast.ok and len(fast.improvements) == 2
+
+
+def test_changes_inside_the_noise_band_pass():
+    baselines = {"bench": {"execution_seconds": 1.0}}
+    for value in (0.85, 1.0, 1.15):
+        comparison = compare_to_baselines(
+            {"bench": {"execution_seconds": value}}, baselines
+        )
+        assert comparison.ok
+        assert comparison.unchanged
+
+
+def test_tiny_values_are_never_flagged():
+    baselines = {"bench": {"planning_seconds": 0.0002}}
+    comparison = compare_to_baselines(
+        {"bench": {"planning_seconds": 0.0008}}, baselines  # 4x, but sub-noise
+    )
+    assert comparison.ok
+    assert comparison.unchanged
+
+
+def test_metrics_without_baseline_pass_as_missing():
+    comparison = compare_to_baselines({"new-bench": {"execution_seconds": 5.0}}, {})
+    assert comparison.ok
+    assert comparison.missing_baselines == [("new-bench", "execution_seconds")]
+
+
+def test_zero_baseline_is_an_infinite_ratio_regression():
+    comparison = compare_to_baselines(
+        {"bench": {"execution_seconds": 0.5}},
+        {"bench": {"execution_seconds": 0.0}},
+    )
+    assert not comparison.ok
+    assert comparison.regressions[0].ratio == float("inf")
+
+
+def test_markdown_report_carries_verdict_and_tables():
+    baselines = {"bench": {"execution_seconds": 1.0, "inference_seconds": 1.0}}
+    comparison = compare_to_baselines(
+        {
+            "bench": {"execution_seconds": 2.0, "inference_seconds": 0.5},
+            "other": {"planning_seconds": 1.0},
+        },
+        baselines,
+    )
+    report = render_regression_markdown(comparison)
+    assert "**FAIL**" in report
+    assert "## Regressions" in report
+    assert "| bench | execution_seconds | 1 | 2 | 2.00x |" in report
+    assert "## Improvements" in report
+    assert "## No baseline yet" in report
+    assert "`other:planning_seconds`" in report
+
+    clean = render_regression_markdown(
+        compare_to_baselines({"bench": {"execution_seconds": 1.0}}, baselines)
+    )
+    assert "**PASS**" in clean
+    assert "## Regressions" not in clean
+
+
+class _FakeRun:
+    def total_inference_seconds(self):
+        return 1.0
+
+    def total_planning_seconds(self):
+        return 0.5
+
+    def total_execution_seconds(self):
+        return 2.0
+
+    def total_end_to_end_seconds(self):
+        return 3.5
+
+
+def test_metrics_from_estimator_run_uses_phase_totals():
+    assert prof_baseline.metrics_from_estimator_run(_FakeRun()) == {
+        "inference_seconds": 1.0,
+        "planning_seconds": 0.5,
+        "execution_seconds": 2.0,
+        "end_to_end_seconds": 3.5,
+    }

@@ -1,0 +1,62 @@
+"""Flamegraph rendering: self-contained HTML, widths, determinism."""
+
+from collections import Counter
+
+from repro.obs.prof.flamegraph import render_flamegraph_html, write_flamegraph
+
+COUNTS = Counter(
+    {
+        ("main", "work", "hot_loop"): 60,
+        ("main", "work", "cold_path"): 30,
+        ("main", "io_wait"): 10,
+    }
+)
+
+
+def test_html_is_self_contained_and_names_frames():
+    html = render_flamegraph_html(COUNTS, title="t", subtitle="s")
+    assert html.lstrip().lower().startswith("<!doctype html>")
+    # No external assets: everything inline.
+    assert "http://" not in html and "https://" not in html
+    assert "<script src" not in html and "<link" not in html
+    for frame in ("main", "work", "hot_loop", "cold_path", "io_wait"):
+        assert frame in html
+    assert "<title>t</title>" in html
+
+
+def test_frame_widths_proportional_to_samples():
+    html = render_flamegraph_html(COUNTS)
+    # main spans all 100 samples; work 90 of them; hot_loop 60.
+    assert "width:100.0000%" in html
+    assert "width:90.0000%" in html
+    assert "width:60.0000%" in html
+
+
+def _without_timestamp(html: str) -> str:
+    return "\n".join(
+        line for line in html.splitlines() if not line.startswith("<p class=\"muted\">")
+    )
+
+
+def test_rendering_is_deterministic_across_calls():
+    first = _without_timestamp(render_flamegraph_html(COUNTS))
+    second = _without_timestamp(render_flamegraph_html(COUNTS))
+    assert first == second
+
+
+def test_zero_samples_renders_placeholder_not_error():
+    html = render_flamegraph_html(Counter())
+    assert "No samples recorded." in html
+
+
+def test_tiny_frames_are_pruned():
+    counts = Counter({("main", "big"): 10_000, ("main", "speck"): 1})
+    html = render_flamegraph_html(counts)
+    assert "big" in html
+    assert "speck" not in html  # below the 0.2% render floor
+
+
+def test_write_flamegraph_creates_file(tmp_path):
+    path = write_flamegraph(tmp_path / "fg" / "flamegraph.html", COUNTS, title="x")
+    assert path.exists()
+    assert "hot_loop" in path.read_text()

@@ -1,0 +1,146 @@
+"""Phase attribution: wall/CPU/peak-memory stats, worker merge, hooks."""
+
+import tracemalloc
+
+import pytest
+
+from repro.obs.prof import phases as prof_phases
+from repro.obs.prof.phases import PhaseProfiler
+
+
+@pytest.fixture(autouse=True)
+def _clean_module_state():
+    yield
+    prof_phases.deactivate()
+    if tracemalloc.is_tracing():  # never leak tracing into other tests
+        tracemalloc.stop()
+
+
+def test_phase_records_wall_cpu_and_peak():
+    profiler = PhaseProfiler()
+    try:
+        with profiler.phase("execution", estimator="PostgreSQL"):
+            blob = bytearray(2_000_000)
+            del blob
+        stats = profiler.snapshot()["phases"]["PostgreSQL"]["execution"]
+    finally:
+        profiler.close()
+    assert stats["count"] == 1
+    assert stats["wall_seconds"] >= 0.0
+    assert stats["cpu_seconds"] >= 0.0
+    assert stats["peak_bytes"] >= 2_000_000
+
+
+def test_phase_aggregates_counts_and_max_peak():
+    profiler = PhaseProfiler(trace_memory=False)
+    profiler.record("inference", "X", wall_seconds=0.5, peak_bytes=100)
+    profiler.record("inference", "X", wall_seconds=0.25, peak_bytes=300)
+    stats = profiler.snapshot()["phases"]["X"]["inference"]
+    assert stats["count"] == 2
+    assert stats["wall_seconds"] == pytest.approx(0.75)
+    assert stats["peak_bytes"] == 300  # max across occurrences, not a sum
+
+
+def test_phase_without_estimator_lands_in_workload_scope():
+    profiler = PhaseProfiler(trace_memory=False)
+    with profiler.phase("labelling"):
+        pass
+    assert "labelling" in profiler.snapshot()["phases"][prof_phases.WORKLOAD_SCOPE]
+
+
+def test_phase_recorded_even_when_body_raises():
+    profiler = PhaseProfiler(trace_memory=False)
+    with pytest.raises(RuntimeError):
+        with profiler.phase("planning", estimator="X"):
+            raise RuntimeError("boom")
+    assert profiler.snapshot()["phases"]["X"]["planning"]["count"] == 1
+
+
+def test_tracemalloc_ownership_protocol():
+    assert not tracemalloc.is_tracing()
+    owner = PhaseProfiler()
+    assert tracemalloc.is_tracing()
+    guest = PhaseProfiler()  # someone else owns tracing
+    guest.close()
+    assert tracemalloc.is_tracing(), "guest must not stop tracing it never started"
+    owner.close()
+    assert not tracemalloc.is_tracing()
+
+
+def test_note_worker_merges_dump_and_tracks_compute():
+    parent = PhaseProfiler(trace_memory=False)
+    child = PhaseProfiler(trace_memory=False)
+    child.record("execution", "X", wall_seconds=0.4, cpu_seconds=0.3, peak_bytes=50)
+    parent.note_worker(101, child.dump())
+    child.reset()
+    child.record("execution", "X", wall_seconds=0.6, cpu_seconds=0.5)
+    parent.note_worker(101, child.dump())
+    parent.note_parallel_section(wall_seconds=1.0, workers=2)
+
+    view = parent.snapshot()
+    assert view["phases"]["X"]["execution"]["count"] == 2
+    assert view["phases"]["X"]["execution"]["wall_seconds"] == pytest.approx(1.0)
+    worker = view["workers"]["101"]
+    assert worker["tasks"] == 2
+    assert worker["compute_wall_seconds"] == pytest.approx(1.0)
+    parallel = view["parallel"]
+    assert parallel["workers"] == 2
+    # Capacity 1.0s x 2 workers minus 1.0s of compute = 1.0s dispatch/idle.
+    assert parallel["dispatch_overhead_seconds"] == pytest.approx(1.0)
+
+
+def test_module_phase_hook_is_noop_when_inactive():
+    assert not prof_phases.is_active()
+    with prof_phases.phase("execution", estimator="X"):
+        pass  # must not raise, must not record anywhere
+    assert prof_phases.active_profiler() is None
+
+
+def test_module_phase_hook_records_when_active():
+    profiler = prof_phases.activate()
+    with prof_phases.phase("inference", estimator="Y"):
+        pass
+    assert profiler.snapshot()["phases"]["Y"]["inference"]["count"] == 1
+    prof_phases.deactivate()
+    assert prof_phases.active_profiler() is None
+
+
+def test_use_profiler_scopes_activation():
+    with prof_phases.use_profiler() as profiler:
+        assert prof_phases.active_profiler() is profiler
+    assert prof_phases.active_profiler() is None
+
+
+def test_argless_activate_replaces_inherited_profiler_and_keeps_tracing():
+    """The fork-worker path: close-then-construct must retain tracemalloc."""
+    prof_phases.activate()
+    fresh = prof_phases.activate()  # what _worker_init does after fork
+    assert tracemalloc.is_tracing()
+    with fresh.phase("execution", estimator="X"):
+        blob = bytearray(2_000_000)
+        del blob
+    stats = fresh.snapshot()["phases"]["X"]["execution"]
+    assert stats["peak_bytes"] >= 2_000_000
+
+
+def test_render_phase_table_orders_pipeline_phases():
+    profiler = PhaseProfiler(trace_memory=False)
+    for name in ("execution", "inference", "planning", "labelling"):
+        profiler.record(name, "X", wall_seconds=0.1)
+    table = prof_phases.render_phase_table(profiler.snapshot())
+    lines = [line for line in table.splitlines() if line.startswith("X")]
+    assert [line.split()[1] for line in lines] == [
+        "labelling",
+        "inference",
+        "planning",
+        "execution",
+    ]
+
+
+def test_phase_profile_round_trips_through_file(tmp_path):
+    profiler = PhaseProfiler(trace_memory=False)
+    profiler.record("execution", "X", wall_seconds=0.2, cpu_seconds=0.1)
+    path = prof_phases.write_phase_profile(
+        tmp_path / "phase_profile.json", profiler.snapshot()
+    )
+    assert prof_phases.load_phase_profile(path) == profiler.snapshot()

@@ -1,0 +1,141 @@
+"""Sampling stack profiler: lifecycle, span scoping, collapsed output."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.prof.sampler import (
+    StackSampler,
+    collapse_counts,
+    parse_collapsed,
+)
+
+
+def _busy_wait(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(100))
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    yield
+    obs_trace.deactivate()
+
+
+def test_sampler_collects_stacks_from_target_thread():
+    with StackSampler(interval_seconds=0.002) as sampler:
+        _busy_wait(0.1)
+    assert sampler.sample_count > 0
+    counts = sampler.stack_counts()
+    assert sum(counts.values()) == sampler.sample_count
+    # Every sample of this thread runs through this test function.
+    flat = "\n".join(";".join(stack) for stack in counts)
+    assert "test_sampler_collects_stacks_from_target_thread" in flat
+
+
+def test_sampler_stops_sampling_after_stop():
+    sampler = StackSampler(interval_seconds=0.002).start()
+    _busy_wait(0.05)
+    sampler.stop()
+    seen = sampler.sample_count
+    _busy_wait(0.05)
+    assert sampler.sample_count == seen
+    assert sampler.started_unix is not None
+    assert sampler.stopped_unix is not None
+
+
+def test_sampler_double_start_rejected_and_stop_idempotent():
+    sampler = StackSampler(interval_seconds=0.002).start()
+    with pytest.raises(RuntimeError):
+        sampler.start()
+    sampler.stop()
+    sampler.stop()  # no-op
+    sampler.start()  # restart after stop is allowed
+    sampler.stop()
+
+
+def test_sampler_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        StackSampler(interval_seconds=0.0)
+
+
+def test_sampler_prefixes_stacks_with_open_span_path():
+    obs_trace.activate()
+    with StackSampler(interval_seconds=0.002) as sampler:
+        with obs_trace.span("query"), obs_trace.span("execution"):
+            _busy_wait(0.1)
+    scoped = [
+        stack
+        for stack in sampler.stack_counts()
+        if stack[:2] == ("span:query", "span:execution")
+    ]
+    assert scoped, "no sample carried the open span prefix"
+
+
+def test_sampler_span_scoping_can_be_disabled():
+    obs_trace.activate()
+    with StackSampler(interval_seconds=0.002, span_scoped=False) as sampler:
+        with obs_trace.span("query"):
+            _busy_wait(0.05)
+    assert sampler.sample_count > 0
+    assert not any(
+        frame.startswith("span:")
+        for stack in sampler.stack_counts()
+        for frame in stack
+    )
+
+
+def test_sampler_all_threads_excludes_its_own_thread():
+    stop = threading.Event()
+
+    def spin():
+        while not stop.is_set():
+            sum(range(100))
+
+    worker = threading.Thread(target=spin, name="prof-test-spin")
+    worker.start()
+    try:
+        with StackSampler(interval_seconds=0.002, all_threads=True) as sampler:
+            _busy_wait(0.05)
+    finally:
+        stop.set()
+        worker.join()
+    flat = "\n".join(";".join(stack) for stack in sampler.stack_counts())
+    assert "spin" in flat
+    assert "_sample_loop" not in flat
+
+
+def test_collapsed_round_trips_through_parse():
+    with StackSampler(interval_seconds=0.002) as sampler:
+        _busy_wait(0.05)
+    text = sampler.collapsed()
+    assert text.strip()
+    parsed = parse_collapsed(text)
+    assert parsed == sampler.stack_counts()
+    # Each line is "frame;frame;... count".
+    for line in text.splitlines():
+        stack_text, _, count_text = line.rpartition(" ")
+        assert stack_text and count_text.isdigit()
+
+
+def test_merge_counts_accumulates_other_samplers():
+    sampler = StackSampler()
+    sampler.merge_counts({("a.f", "b.g"): 3})
+    sampler.merge_counts({("a.f", "b.g"): 2, ("a.f",): 1})
+    assert sampler.sample_count == 6
+    assert collapse_counts(sampler.stack_counts()) == "a.f 1\na.f;b.g 5"
+
+
+def test_write_collapsed_creates_parent_dirs(tmp_path):
+    sampler = StackSampler()
+    sampler.merge_counts({("m.fn",): 4})
+    path = sampler.write_collapsed(tmp_path / "deep" / "stacks.collapsed")
+    assert path.read_text() == "m.fn 4\n"
+
+
+def test_parse_collapsed_skips_malformed_lines():
+    parsed = parse_collapsed("a.f;b.g 2\n\nnot-a-count x\n 5\nc.h 1\n")
+    assert parsed == {("a.f", "b.g"): 2, ("c.h",): 1}

@@ -193,3 +193,45 @@ def test_metrics_server_serves_metrics_and_progress():
 def test_metrics_server_rejects_bad_addr():
     with pytest.raises(ValueError):
         MetricsServer("not-an-addr")
+
+
+def test_throughput_and_eta_never_raise_or_go_negative():
+    """Hardening contract: finite non-negative float / None, no exceptions."""
+    clock = FakeClock()
+    tracker = ProgressTracker(total=10, clock=clock)
+
+    # Clock skew: completions recorded, then the clock runs backwards.
+    clock.advance(2.0)
+    tracker.record_result(_Run())
+    clock.advance(-5.0)
+    tracker.record_result(_Run())
+    rate = tracker.throughput_qps()
+    assert rate >= 0.0
+    eta = tracker.eta_seconds()
+    assert eta is None or eta >= 0.0
+
+    # Denormal-small completion spacing drives the recent-window rate
+    # to infinity; the guard must collapse it instead of leaking inf.
+    tracker2 = ProgressTracker(total=10, clock=clock)
+    tracker2._recent.extend([0.0, 5e-324])
+    assert tracker2.throughput_qps() == 0.0
+    assert tracker2.eta_seconds() is None
+
+    # Zero-signal state stays at the documented fallbacks.
+    fresh = ProgressTracker(total=0, clock=clock)
+    assert fresh.throughput_qps() == 0.0
+    assert fresh.eta_seconds() is None
+
+
+def test_metrics_server_healthz_reports_run_id():
+    server = MetricsServer("127.0.0.1:0", run_id="run-42ab")
+    try:
+        host, port = server.address
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/healthz", timeout=5
+        ) as response:
+            assert response.status == 200
+            payload = json.loads(response.read().decode())
+            assert payload == {"run_id": "run-42ab", "status": "ok"}
+    finally:
+        server.close()
