@@ -24,6 +24,12 @@ checks are:
 ``resume``
     A campaign checkpointed halfway and resumed must splice into the
     same results as an uninterrupted run.
+``batch``
+    Batch-vs-loop equivalence: for every estimator in the fast sweep
+    set, ``estimate_batch`` over a query's whole sub-plan space must
+    match the per-query ``estimate`` loop within ``BATCH_RTOL``
+    relative tolerance — the contract the batched inference hot path
+    (:func:`repro.core.injection.estimate_sub_plans`) relies on.
 
 ``parallel`` and ``resume`` run the full benchmark harness per case,
 so the runner only samples them on a fraction of cases.
@@ -31,6 +37,7 @@ so the runner only samples them on a fraction of cases.
 
 from __future__ import annotations
 
+import math
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -38,6 +45,7 @@ from pathlib import Path
 from repro.check.fuzz import CheckCase
 from repro.check.oracle import SQLiteOracle
 from repro.core.benchmark import EndToEndBenchmark
+from repro.core.injection import sub_plan_queries
 from repro.core.parallel import fork_available
 from repro.core.truecards import TrueCardinalityService
 from repro.engine.cache import ExecutionContext
@@ -55,13 +63,22 @@ from repro.engine.plans import (
 )
 from repro.engine.query import LabeledQuery, Query
 from repro.engine.subsets import space_of
+from repro.estimators.multihist import MultiHistEstimator
+from repro.estimators.pessest import PessimisticEstimator
+from repro.estimators.postgres import PostgresEstimator
 from repro.estimators.truecard import TrueCardEstimator
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.workloads.generator import Workload
 
 #: The metamorphic invariants, in the order the runner applies them.
 #: The SQLite oracle comparison is controlled separately (``--oracle``).
-ALL_INVARIANTS = ("cache", "plans", "parallel", "resume")
+ALL_INVARIANTS = ("batch", "cache", "plans", "parallel", "resume")
+
+#: Relative tolerance for batch-vs-loop equivalence.  Vectorised
+#: implementations may reorder float reductions (stacked matmuls vs
+#: per-row dot products), which moves the last ulp; anything beyond
+#: 1e-9 relative is a genuine semantic divergence.
+BATCH_RTOL = 1e-9
 
 #: Caps for exhaustive plan enumeration: ways kept per subset mask and
 #: executed plans per query.  Fuzz queries join <= 4 tables, so these
@@ -137,6 +154,64 @@ def check_oracle(case: CheckCase) -> list[Discrepancy]:
                         f"counted {reference[query.tables]}",
                     )
                 )
+    return discrepancies
+
+
+# -- batch --------------------------------------------------------------------
+
+
+def check_batch(case: CheckCase) -> list[Discrepancy]:
+    """``estimate_batch`` must match the per-query ``estimate`` loop.
+
+    Fits the statistics-backed estimator families (the ones with real
+    vectorised or memoized batch paths reachable from a fuzz database)
+    and compares both code paths over every query's full sub-plan
+    space.  Learned families are covered by the tests/estimators sweep,
+    which has trained models to hand; fuzz cases are too small to train
+    on.
+    """
+    discrepancies: list[Discrepancy] = []
+    estimators = [
+        PostgresEstimator().fit(case.database),
+        MultiHistEstimator().fit(case.database),
+        PessimisticEstimator().fit(case.database),
+    ]
+    for query in case.queries:
+        sub = sub_plan_queries(query)
+        subsets = list(sub)
+        queries = list(sub.values())
+        for estimator in estimators:
+            looped = [float(estimator.estimate(q)) for q in queries]
+            batched = estimator.estimate_batch(queries)
+            if len(batched) != len(looped):
+                discrepancies.append(
+                    Discrepancy(
+                        "batch",
+                        query.name,
+                        f"{estimator.name}.estimate_batch returned "
+                        f"{len(batched)} estimates for {len(looped)} "
+                        "sub-plans",
+                    )
+                )
+                continue
+            for subset, loop_value, batch_value in zip(
+                subsets, looped, batched
+            ):
+                if not math.isclose(
+                    loop_value,
+                    float(batch_value),
+                    rel_tol=BATCH_RTOL,
+                    abs_tol=1e-12,
+                ):
+                    discrepancies.append(
+                        Discrepancy(
+                            "batch",
+                            query.name,
+                            f"{estimator.name} sub-plan {sorted(subset)}: "
+                            f"loop estimated {loop_value!r}, batch "
+                            f"estimated {float(batch_value)!r}",
+                        )
+                    )
     return discrepancies
 
 
@@ -387,6 +462,7 @@ def check_resume(case: CheckCase) -> list[Discrepancy]:
 
 
 _CHECKERS = {
+    "batch": check_batch,
     "cache": check_cache,
     "plans": check_plans,
     "parallel": check_parallel,

@@ -27,6 +27,7 @@ from repro.check.fuzz import CheckCase, FuzzConfig, build_case
 from repro.check.invariants import (
     ALL_INVARIANTS,
     Discrepancy,
+    check_batch,
     check_cache,
     check_oracle,
     check_parallel,
@@ -122,6 +123,7 @@ def replay_command(artifact: str | Path) -> str:
 
 _ORACLE_CHECKER = {"oracle": check_oracle}
 _INVARIANT_CHECKERS = {
+    "batch": check_batch,
     "cache": check_cache,
     "plans": check_plans,
     "parallel": check_parallel,

@@ -22,6 +22,7 @@ import dataclasses
 from pathlib import Path
 
 from repro.core.injection import estimate_sub_plans
+from repro.core.parallel import default_workers
 from repro.core.truecards import TrueCardinalityService
 from repro.datasets.describe import describe
 from repro.datasets.io import export_csv
@@ -170,7 +171,13 @@ def cmd_profile(args) -> int:
         for name in estimators:
             estimator = context.fitted_estimator(name, workload_name)
             run = context.benchmark(workload_name).run(
-                estimator, queries=queries, workers=max(1, args.workers)
+                estimator,
+                queries=queries,
+                workers=(
+                    default_workers(pending=len(queries))
+                    if args.workers <= 0
+                    else args.workers
+                ),
             )
             runs.append((name, run))
     finally:
@@ -246,7 +253,7 @@ def cmd_bench(args) -> int:
     checkpoint_path = args.resume or args.checkpoint
     config = dataclasses.replace(
         ExperimentConfig.named(args.mode),
-        workers=max(1, args.workers),
+        workers=default_workers() if args.workers <= 0 else args.workers,
         max_retries=max(0, args.max_retries),
         query_timeout_seconds=args.query_timeout,
         campaign_timeout_seconds=args.campaign_timeout,
@@ -525,7 +532,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="forked worker processes (with crash recovery; 1 = serial)",
+        help="forked worker processes (with crash recovery; 1 = serial, "
+        "0 = all schedulable cores)",
     )
     bench.add_argument(
         "--max-retries",
@@ -623,7 +631,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="forked worker processes; worker phase profiles are merged",
+        help="forked worker processes; worker phase profiles are merged "
+        "(0 = all schedulable cores, capped at the query count)",
     )
     profile.add_argument(
         "--limit",

@@ -23,13 +23,21 @@ Guarantees:
   that with more workers than cores the *per-query* wall times can
   stretch under CPU contention; wall-clock of the whole run is what
   parallelism buys.
-- **Crash recovery** — each worker reports results over its own pipe
-  and claims a query (synchronously, so the claim cannot be lost)
-  before running it.  A worker death (``os._exit``, segfault, OOM
-  kill) surfaces as EOF on its pipe *after* its buffered messages are
-  drained; the in-flight query is requeued to a replacement worker up
-  to ``max_crash_retries`` times, and past that budget it is recorded
-  as a *failed* ``QueryRun`` rather than hanging or losing the run.
+- **Chunked dispatch** — workers claim queries in chunks of K per
+  queue round-trip (K sized from the workload and worker count, or
+  explicitly via ``chunk_size``) instead of one at a time, so queue
+  synchronisation overhead is amortised across K queries.  Results
+  still stream back per query over the worker's pipe, and ordering,
+  metrics and crash semantics are unchanged from per-query dispatch.
+- **Crash recovery** — each worker reports results over its own pipe,
+  announces its claimed chunk, and claims each query (synchronously,
+  so the claim cannot be lost) before running it.  A worker death
+  (``os._exit``, segfault, OOM kill) surfaces as EOF on its pipe
+  *after* its buffered messages are drained; the whole in-flight chunk
+  is requeued — the query that was mid-run counts against its
+  ``max_crash_retries`` budget (past it, the query is recorded as a
+  *failed* ``QueryRun`` rather than hanging or losing the run), while
+  the chunk's not-yet-started queries are requeued without blame.
   Every crash increments ``benchmark.worker_crashes``.
 - **Interrupt salvage** — if the parent is interrupted
   (KeyboardInterrupt or any other error), metrics of completed queries
@@ -77,12 +85,44 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def default_workers() -> int:
-    """A sensible worker count: the CPUs this process may schedule on."""
+def default_workers(pending: int | None = None) -> int:
+    """A sensible worker count: the CPUs this process may schedule on.
+
+    Uses ``os.sched_getaffinity`` (not ``cpu_count``) so cgroup/taskset
+    limited CI containers get the cores they can actually use, and caps
+    at ``pending`` (the number of queries waiting) when given — a
+    96-core box running a 4-query campaign needs 4 workers, not 96.
+    """
     try:
-        return max(1, len(os.sched_getaffinity(0)))
+        workers = max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # non-Linux
-        return max(1, os.cpu_count() or 1)
+        workers = max(1, os.cpu_count() or 1)
+    if pending is not None:
+        workers = max(1, min(workers, pending))
+    return workers
+
+
+def dispatch_chunks(
+    num_tasks: int, workers: int, chunk_size: int | None = None
+) -> list[list[int]]:
+    """Contiguous task-index chunks for the dispatch queue.
+
+    ``chunk_size=None`` picks K so each worker makes ~4 queue
+    round-trips over the run — large enough to amortise queue
+    synchronisation, small enough that a straggler chunk cannot idle
+    the rest of the pool.  Ordering is deterministic: chunks cover
+    ``0..num_tasks-1`` in order (results are keyed by index, so
+    workload order is preserved regardless of completion order).
+    """
+    if num_tasks <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, num_tasks // (max(1, workers) * 4))
+    chunk_size = max(1, chunk_size)
+    return [
+        list(range(start, min(start + chunk_size, num_tasks)))
+        for start in range(0, num_tasks, chunk_size)
+    ]
 
 
 def _worker_init() -> None:
@@ -110,11 +150,13 @@ def _worker_init() -> None:
 
 
 def _worker_loop(task_queue, result_pipe) -> None:
-    """Worker main: claim an index, run it, ship the result.
+    """Worker main: claim a chunk of indices, run them, ship results.
 
-    The ``("start", index, pid)`` claim is sent synchronously over the
-    pipe before the query runs — it is what lets the parent requeue the
-    right query when this process dies mid-task, and it doubles as the
+    One queue round-trip claims a whole chunk; the ``("chunk", indices,
+    pid)`` announcement followed by a per-query ``("start", index,
+    pid)`` claim is sent synchronously over the pipe before each query
+    runs — together they let the parent requeue the right queries when
+    this process dies mid-chunk, and the start claim doubles as the
     worker's heartbeat for the live progress view.  An exception
     escaping ``_run_query`` (which already isolates ordinary per-query
     failures) is shipped as an ``("error", ...)`` message so one broken
@@ -124,23 +166,25 @@ def _worker_loop(task_queue, result_pipe) -> None:
     benchmark, estimator, queries = _FORK_STATE
     pid = os.getpid()
     while True:
-        index = task_queue.get()
-        if index is None:  # sentinel: run is over
+        chunk = task_queue.get()
+        if chunk is None:  # sentinel: run is over
             break
-        result_pipe.send(("start", index, pid))
-        obs_metrics.reset()
-        profiler = prof_phases.active_profiler()
-        if profiler is not None:
-            profiler.reset()
-        try:
-            run = benchmark._run_query(estimator, queries[index])
-        except BaseException as exc:  # noqa: BLE001 — must reach the parent
-            result_pipe.send(("error", index, f"{type(exc).__name__}: {exc}"))
-        else:
-            prof_dump = profiler.dump() if profiler is not None else None
-            result_pipe.send(
-                ("done", index, run, obs_metrics.registry().dump(), prof_dump)
-            )
+        result_pipe.send(("chunk", list(chunk), pid))
+        for index in chunk:
+            result_pipe.send(("start", index, pid))
+            obs_metrics.reset()
+            profiler = prof_phases.active_profiler()
+            if profiler is not None:
+                profiler.reset()
+            try:
+                run = benchmark._run_query(estimator, queries[index])
+            except BaseException as exc:  # noqa: BLE001 — must reach the parent
+                result_pipe.send(("error", index, f"{type(exc).__name__}: {exc}"))
+            else:
+                prof_dump = profiler.dump() if profiler is not None else None
+                result_pipe.send(
+                    ("done", index, run, obs_metrics.registry().dump(), prof_dump)
+                )
     result_pipe.close()
 
 
@@ -153,14 +197,17 @@ def run_parallel(
     on_complete=None,
     campaign_deadline=None,
     max_crash_retries: int = 1,
+    chunk_size: int | None = None,
 ):
     """Evaluate ``queries`` with ``estimator`` across ``workers`` processes.
 
-    Returns the list of ``QueryRun`` results in workload order; every
-    worker's metrics are merged into the parent registry as results
-    arrive.  The caller is responsible for estimator preparation
-    (fit / preload) *before* this call so the forked children inherit
-    the ready state.
+    Queries are dispatched in chunks of ``chunk_size`` (auto-sized by
+    :func:`dispatch_chunks` when ``None``) so per-task queue overhead
+    is paid once per chunk, not once per query.  Returns the list of
+    ``QueryRun`` results in workload order; every worker's metrics are
+    merged into the parent registry as results arrive.  The caller is
+    responsible for estimator preparation (fit / preload) *before*
+    this call so the forked children inherit the ready state.
 
     ``on_complete(position, run)`` fires in completion order for every
     query that genuinely finished (including terminal failures) — the
@@ -181,6 +228,7 @@ def run_parallel(
 
     outcomes: dict[int, object] = {}
     claimed: dict[object, int] = {}  # reader pipe -> in-flight query index
+    chunks_in_flight: dict[object, set[int]] = {}  # reader pipe -> claimed chunk
     crash_counts: dict[int, int] = {}
     processes: dict[object, object] = {}  # reader pipe -> Process
 
@@ -192,8 +240,8 @@ def run_parallel(
     _FORK_STATE = (benchmark, estimator, queries)
     task_queue = context.Queue()
     try:
-        for index in range(len(queries)):
-            task_queue.put(index)
+        for chunk in dispatch_chunks(len(queries), workers, chunk_size):
+            task_queue.put(chunk)
 
         def spawn_worker() -> None:
             reader, writer = context.Pipe(duplex=False)
@@ -209,12 +257,16 @@ def run_parallel(
 
             EOF arrives only after the pipe's buffered messages were
             drained, so a claim without a matching result means the
-            worker really died mid-query.
+            worker really died mid-query.  The whole in-flight chunk is
+            requeued: the query that was mid-run counts against its
+            crash budget; the chunk's not-yet-started queries carry no
+            blame and are simply redispatched.
             """
             process = processes.pop(reader)
             process.join()
             reader.close()
             index = claimed.pop(reader, None)
+            chunk = chunks_in_flight.pop(reader, set())
             crashed_mid_query = index is not None and index not in outcomes
             if crashed_mid_query:
                 registry.counter("benchmark.worker_crashes").inc()
@@ -229,7 +281,7 @@ def run_parallel(
                     requeued=requeued,
                 )
                 if requeued:
-                    task_queue.put(index)
+                    task_queue.put([index])
                 else:
                     finish(
                         index,
@@ -240,6 +292,11 @@ def run_parallel(
                         ),
                     )
                     registry.counter("benchmark.failed_queries").inc()
+            unstarted = sorted(
+                i for i in chunk if i != index and i not in outcomes
+            )
+            if unstarted:
+                task_queue.put(unstarted)
             if len(outcomes) < len(queries):
                 spawn_worker()
 
@@ -260,7 +317,9 @@ def run_parallel(
                 kind = message[0]
                 worker_pid = processes[reader].pid
                 obs_progress.heartbeat(worker_pid)
-                if kind == "start":
+                if kind == "chunk":
+                    chunks_in_flight[reader] = set(message[1])
+                elif kind == "start":
                     index = message[1]
                     claimed[reader] = index
                     obs_progress.record_claim(index, worker=worker_pid)
@@ -273,6 +332,7 @@ def run_parallel(
                 elif kind == "done":
                     _, index, run, dump, *extras = message
                     claimed.pop(reader, None)
+                    chunks_in_flight.get(reader, set()).discard(index)
                     if index not in outcomes:  # requeue may rarely duplicate
                         registry.merge(dump)
                         prof_dump = extras[0] if extras else None
@@ -283,6 +343,7 @@ def run_parallel(
                 elif kind == "error":
                     _, index, error = message
                     claimed.pop(reader, None)
+                    chunks_in_flight.get(reader, set()).discard(index)
                     if index not in outcomes:
                         finish(index, failed_query_run(queries[index], error))
                         registry.counter("benchmark.failed_queries").inc()

@@ -58,6 +58,25 @@ class CardinalityEstimator(abc.ABC):
     def estimate(self, query: Query) -> float:
         """Estimated cardinality of ``query`` (>= 0)."""
 
+    def estimate_batch(self, queries: list[Query]) -> list[float]:
+        """Estimated cardinalities for ``queries``, in order.
+
+        The batch contract: ``estimate_batch(queries)`` must agree with
+        ``[estimate(q) for q in queries]`` to floating-point noise
+        (the ``batch`` metamorphic invariant of ``repro check`` holds
+        every estimator to 1e-9 relative tolerance) and must raise if
+        *any* individual estimate would raise — callers that need
+        per-query failure isolation fall back to the per-query loop.
+
+        The default implementation is exactly that loop.  The numpy
+        families (LW-NN, MSCN, LW-XGB, and the vectorised traditional
+        methods) override it to price a whole sub-plan space in one
+        forward pass; this is the benchmark's inference hot path, since
+        the end-to-end protocol prices every connected sub-plan of
+        every query.
+        """
+        return [float(self.estimate(query)) for query in queries]
+
     # -- practicality aspects ---------------------------------------------------
 
     @property

@@ -63,6 +63,28 @@ class AdaptiveEstimator(CardinalityEstimator):
             return self.cheap.estimate(query)
         return self.accurate.estimate(query)
 
+    def estimate_batch(self, queries: list[Query]) -> list[float]:
+        """Split the batch by route, price each side in one call."""
+        cheap_idx = [
+            i for i, q in enumerate(queries) if q.num_tables <= self._threshold
+        ]
+        accurate_idx = [
+            i for i, q in enumerate(queries) if q.num_tables > self._threshold
+        ]
+        estimates: list[float] = [0.0] * len(queries)
+        if cheap_idx:
+            for i, value in zip(
+                cheap_idx, self.cheap.estimate_batch([queries[i] for i in cheap_idx])
+            ):
+                estimates[i] = value
+        if accurate_idx:
+            for i, value in zip(
+                accurate_idx,
+                self.accurate.estimate_batch([queries[i] for i in accurate_idx]),
+            ):
+                estimates[i] = value
+        return estimates
+
     @property
     def supports_update(self) -> bool:
         return self.cheap.supports_update and self.accurate.supports_update
@@ -111,6 +133,19 @@ class SafeguardedEstimator(CardinalityEstimator):
         if estimate < floor:
             return floor
         return min(estimate, upper)
+
+    def estimate_batch(self, queries: list[Query]) -> list[float]:
+        """One batched pass through the base model and one through the
+        bound, combined with the scalar guard per query."""
+        base = self.base.estimate_batch(queries)
+        bound = self.bound.estimate_batch(queries)
+        guarded = []
+        for model_estimate, bound_estimate in zip(base, bound):
+            estimate = max(model_estimate, 1.0)
+            upper = max(bound_estimate, 1.0)
+            floor = upper / (10.0 ** self._tolerance)
+            guarded.append(floor if estimate < floor else min(estimate, upper))
+        return guarded
 
     @property
     def supports_update(self) -> bool:

@@ -147,6 +147,8 @@ class GradientBoostedTrees:
         self._num_bins = num_bins
         self._base: float = 0.0
         self._trees: list[_RegressionTree] = []
+        #: lazily built flattened forest (see :meth:`_flatten`).
+        self._forest: tuple[np.ndarray, ...] | None = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
         x = np.asarray(x, dtype=np.float64)
@@ -154,6 +156,7 @@ class GradientBoostedTrees:
         self._base = float(y.mean()) if len(y) else 0.0
         prediction = np.full(len(y), self._base)
         self._trees = []
+        self._forest = None
         for _ in range(self._num_trees):
             residuals = y - prediction
             tree = _RegressionTree(
@@ -165,14 +168,64 @@ class GradientBoostedTrees:
             self._trees.append(tree)
         return self
 
+    def _flatten(self) -> tuple[np.ndarray, ...]:
+        """Pack every tree into parallel node arrays.
+
+        ``features[i] == -1`` marks a leaf; interior nodes store
+        absolute child indices, so one ``(rows x trees)`` index matrix
+        can descend all trees for all rows in ``max_depth`` fancy-index
+        steps instead of one Python recursion per (row, tree) pair.
+        """
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[float] = []
+        roots: list[int] = []
+
+        def add(node: _TreeNode) -> int:
+            index = len(features)
+            features.append(-1 if node.feature is None else node.feature)
+            thresholds.append(node.threshold)
+            values.append(node.value)
+            lefts.append(index)
+            rights.append(index)
+            if node.feature is not None:
+                assert node.left is not None and node.right is not None
+                lefts[index] = add(node.left)
+                rights[index] = add(node.right)
+            return index
+
+        for tree in self._trees:
+            assert tree.root is not None
+            roots.append(add(tree.root))
+        return (
+            np.array(features, dtype=np.int64),
+            np.array(thresholds, dtype=np.float64),
+            np.array(lefts, dtype=np.int64),
+            np.array(rights, dtype=np.int64),
+            np.array(values, dtype=np.float64),
+            np.array(roots, dtype=np.int64),
+        )
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if len(x) == 1:
             return np.array([self.predict_one(x[0])])
-        prediction = np.full(len(x), self._base)
-        for tree in self._trees:
-            prediction += self._learning_rate * tree.predict(x)
-        return prediction
+        if self._forest is None:
+            self._forest = self._flatten()
+        features, thresholds, lefts, rights, values, roots = self._forest
+        idx = np.broadcast_to(roots, (len(x), len(roots))).copy()
+        rows = np.arange(len(x))[:, None]
+        while True:
+            feat = features[idx]
+            active = feat >= 0
+            if not active.any():
+                break
+            observed = x[rows, np.where(active, feat, 0)]
+            go_left = observed <= thresholds[idx]
+            idx = np.where(active, np.where(go_left, lefts[idx], rights[idx]), idx)
+        return self._base + self._learning_rate * values[idx].sum(axis=1)
 
     def predict_one(self, row: np.ndarray) -> float:
         """Fast scalar prediction (per-sub-plan inference hot path)."""

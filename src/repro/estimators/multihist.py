@@ -163,6 +163,36 @@ class MultiHistEstimator(CardinalityEstimator):
             estimate *= self._join_selectivity(edge)
         return max(estimate, 0.0)
 
+    def estimate_batch(self, queries: list[Query]) -> list[float]:
+        """Batched estimation sharing per-table / per-edge factors.
+
+        Sub-plan queries repeat (table, predicates) filters and join
+        edges across subsets; each distinct histogram walk and join
+        selectivity is computed once and recombined per query in the
+        same multiplication order as :meth:`estimate`.
+        """
+        table_cache: dict[tuple, float] = {}
+        edge_cache: dict[JoinEdge, float] = {}
+        estimates = []
+        for query in queries:
+            estimate = 1.0
+            for table in query.tables:
+                predicates = query.predicates_on(table)
+                key = (table, predicates)
+                card = table_cache.get(key)
+                if card is None:
+                    card = table_cache[key] = self._table_cardinality(
+                        table, predicates
+                    )
+                estimate *= card
+            for edge in query.join_edges:
+                selectivity = edge_cache.get(edge)
+                if selectivity is None:
+                    selectivity = edge_cache[edge] = self._join_selectivity(edge)
+                estimate *= selectivity
+            estimates.append(max(estimate, 0.0))
+        return estimates
+
     def _table_cardinality(self, table: str, predicates: tuple[Predicate, ...]) -> float:
         intervals = {p.column: p.interval() for p in predicates}
         selectivity = 1.0

@@ -69,6 +69,11 @@ class QueryFeaturizer:
         self.table_sizes = {
             name: table.num_rows for name, table in database.tables.items()
         }
+        # Template flat vector: unfiltered columns read as the full
+        # range ``[0, 1]``, so only touched slots need writing per query.
+        offset = self.num_tables + self.num_edges
+        self._flat_template = np.zeros(self.flat_dim, dtype=np.float64)
+        self._flat_template[offset + 2 : offset + 3 * self.num_columns : 3] = 1.0
 
     # -- dimensions ---------------------------------------------------------------
 
@@ -101,7 +106,7 @@ class QueryFeaturizer:
             return 0.0 if value < 0 else 1.0
         if high <= low:
             return 0.5
-        return float(np.clip((value - low) / (high - low), 0.0, 1.0))
+        return min(1.0, max(0.0, (value - low) / (high - low)))
 
     def query_intervals(self, query: Query) -> dict[tuple[str, str], tuple[float, float]]:
         """Intersected canonical interval per filtered column."""
@@ -116,9 +121,8 @@ class QueryFeaturizer:
                 intervals[key] = (low, high)
         return intervals
 
-    def flat(self, query: Query) -> np.ndarray:
-        """Fixed-width feature vector."""
-        vector = np.zeros(self.flat_dim, dtype=np.float64)
+    def _fill_flat(self, vector: np.ndarray, query: Query) -> None:
+        """Write one query's structure into a template-initialized row."""
         for table in query.tables:
             vector[self._table_index[table]] = 1.0
         offset = self.num_tables
@@ -128,17 +132,33 @@ class QueryFeaturizer:
                 vector[offset + index] = 1.0
         offset += self.num_edges
         for (table, column), (low, high) in self.query_intervals(query).items():
-            index = self._column_index[(table, column)]
-            vector[offset + 3 * index] = 1.0
-            vector[offset + 3 * index + 1] = self._normalize(table, column, low)
-            vector[offset + 3 * index + 2] = self._normalize(table, column, high)
-        # Unfiltered columns read as the full range.
-        for i, (table, column) in enumerate(self.columns):
-            if vector[offset + 3 * i] == 0.0:
-                vector[offset + 3 * i + 2] = 1.0
+            base = offset + 3 * self._column_index[(table, column)]
+            vector[base] = 1.0
+            vector[base + 1] = self._normalize(table, column, low)
+            vector[base + 2] = self._normalize(table, column, high)
+
+    def flat(self, query: Query) -> np.ndarray:
+        """Fixed-width feature vector."""
+        vector = self._flat_template.copy()
+        self._fill_flat(vector, query)
         if self._baseline is not None:
             vector[-1] = log_cardinality(self._baseline.estimate(query))
         return vector
+
+    def flat_batch(self, queries: list[Query]) -> np.ndarray:
+        """Stacked flat vectors, with the baseline feature priced by one
+        ``estimate_batch`` call instead of one estimate per query."""
+        if not queries:
+            return np.zeros((0, self.flat_dim), dtype=np.float64)
+        matrix = np.tile(self._flat_template, (len(queries), 1))
+        for vector, query in zip(matrix, queries):
+            self._fill_flat(vector, query)
+        if self._baseline is not None:
+            matrix[:, -1] = [
+                log_cardinality(float(estimate))
+                for estimate in self._baseline.estimate_batch(list(queries))
+            ]
+        return matrix
 
     def sets(self, query: Query) -> SetFeatures:
         """MSCN's set representation."""

@@ -51,17 +51,29 @@ class LWNNEstimator(QueryDrivenEstimator):
     def _fit_queries(self, examples: list[tuple[Query, int]]) -> None:
         assert self._featurizer is not None, "fit() must run before fit_queries()"
         rng = np.random.default_rng(self._seed)
-        features = np.stack([self._featurizer.flat(q) for q, _ in examples])
+        features = self._featurizer.flat_batch([q for q, _ in examples])
         targets = np.array([log_cardinality(c) for _, c in examples])
         sizes = [self._featurizer.flat_dim, *self._hidden, 1]
         self._model = MLP(rng, sizes)
         train_regressor(self._model, features, targets, rng, epochs=self._epochs)
 
     def estimate(self, query: Query) -> float:
+        return self.estimate_batch([query])[0]
+
+    def estimate_batch(self, queries: list[Query]) -> list[float]:
+        """One stacked forward pass over every query's flat features."""
         assert self._featurizer is not None and self._model is not None
-        features = self._featurizer.flat(query)[None, :]
-        predicted = from_log(float(self._model.forward(features)[0, 0]))
-        return float(np.clip(predicted, 1.0, self._featurizer.max_cardinality(query)))
+        if not queries:
+            return []
+        features = self._featurizer.flat_batch(queries)
+        logs = self._model.forward(features)[:, 0]
+        return [
+            min(
+                max(from_log(float(log)), 1.0),
+                self._featurizer.max_cardinality(query),
+            )
+            for query, log in zip(queries, logs)
+        ]
 
     def model_size_bytes(self) -> int:
         return self._model.nbytes() if self._model is not None else 0

@@ -47,7 +47,7 @@ class LWXGBEstimator(QueryDrivenEstimator):
 
     def _fit_queries(self, examples: list[tuple[Query, int]]) -> None:
         assert self._featurizer is not None, "fit() must run before fit_queries()"
-        features = np.stack([self._featurizer.flat(q) for q, _ in examples])
+        features = self._featurizer.flat_batch([q for q, _ in examples])
         targets = np.array([log_cardinality(c) for _, c in examples])
         self._model = GradientBoostedTrees(
             num_trees=self._num_trees,
@@ -56,10 +56,23 @@ class LWXGBEstimator(QueryDrivenEstimator):
         ).fit(features, targets)
 
     def estimate(self, query: Query) -> float:
+        return self.estimate_batch([query])[0]
+
+    def estimate_batch(self, queries: list[Query]) -> list[float]:
+        """One ``GBT.predict`` over the stacked feature matrix — every
+        tree routes the whole batch instead of one row at a time."""
         assert self._featurizer is not None and self._model is not None
-        features = self._featurizer.flat(query)[None, :]
-        predicted = from_log(float(self._model.predict(features)[0]))
-        return float(np.clip(predicted, 1.0, self._featurizer.max_cardinality(query)))
+        if not queries:
+            return []
+        features = self._featurizer.flat_batch(queries)
+        logs = self._model.predict(features)
+        return [
+            min(
+                max(from_log(float(log)), 1.0),
+                self._featurizer.max_cardinality(query),
+            )
+            for query, log in zip(queries, logs)
+        ]
 
     def model_size_bytes(self) -> int:
         return self._model.nbytes() if self._model is not None else 0

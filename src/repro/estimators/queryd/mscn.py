@@ -141,10 +141,27 @@ class MSCNEstimator(QueryDrivenEstimator):
     # -- estimation --------------------------------------------------------------------
 
     def estimate(self, query: Query) -> float:
+        return self.estimate_batch([query])[0]
+
+    def estimate_batch(self, queries: list[Query]) -> list[float]:
+        """One padded set-conv pass: every query's sets are stacked per
+        module and pooled in a single forward through the network."""
         assert self._featurizer is not None and self._head is not None
-        output, _ = self._pooled_forward([self._featurizer.sets(query)])
-        predicted = from_log(float(output[0, 0]))
-        return float(np.clip(predicted, 1.0, self._featurizer.max_cardinality(query)))
+        if not queries:
+            return []
+        output, _ = self._pooled_forward(
+            [self._featurizer.sets(query) for query in queries]
+        )
+        return [
+            float(
+                np.clip(
+                    from_log(float(log)),
+                    1.0,
+                    self._featurizer.max_cardinality(query),
+                )
+            )
+            for query, log in zip(queries, output[:, 0])
+        ]
 
     def model_size_bytes(self) -> int:
         total = sum(m.nbytes() for m in self._modules.values())

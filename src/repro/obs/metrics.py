@@ -7,7 +7,10 @@ accumulates runtime signals the benchmark cares about:
 - ``planner.sub_plans_enumerated`` / ``planner.bipartitions_pruned`` —
   DP search effort,
 - ``inference.latency_seconds.<estimator>`` — per-sub-plan estimator
-  latency histograms,
+  latency histograms (amortised over the batch on the batched path),
+- ``inference.batch_size.<estimator>`` /
+  ``injection.sub_plans_estimated`` — batched-inference shape and the
+  total sub-plans priced,
 - ``benchmark.aborted_queries`` — row-budget / timeout aborts,
 - ``benchmark.failed_queries`` / ``benchmark.worker_crashes`` —
   infrastructure failures isolated by the resilience layer (estimator

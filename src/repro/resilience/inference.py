@@ -1,14 +1,20 @@
 """Failure-isolated sub-plan estimation.
 
 The resilient twin of :func:`repro.core.injection.estimate_sub_plans`:
-the per-sub-plan loop, trace span and latency histogram are identical
-on the no-fault path (same estimates, same clamping, same metrics), but
-each individual ``estimator.estimate`` call runs under the campaign's
-:class:`~repro.resilience.policy.RetryPolicy`, and a sub-plan whose
+on the no-fault path it prices the whole sub-plan space with one
+``estimate_batch`` call — same estimates, same clamping, same metric
+names as the injection pass.  Two situations use the historical
+per-sub-plan loop instead: a *bounded* per-query deadline (a batch
+call is indivisible, so only the loop can check the budget between
+sub-plans), and a failed batch call (any exception, or a malformed
+result) degrading mid-campaign.  In the loop each individual
+``estimator.estimate`` call runs under the campaign's
+:class:`~repro.resilience.policy.RetryPolicy`; a sub-plan whose
 estimate ultimately fails (or whose per-query deadline has expired) is
 served by the PostgreSQL-default fallback instead of aborting the
 query — the query is then *marked failed* by the benchmark driver, but
-the campaign keeps moving.
+the campaign keeps moving.  Failure isolation is therefore untouched:
+the batch path only ever serves complete, successful passes.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.injection import sub_plan_queries
+from repro.core.injection import record_batch_inference, sub_plan_queries
 from repro.engine.query import Query
 from repro.estimators.base import EstimationError
 from repro.obs import events as obs_events
@@ -89,7 +95,48 @@ def resilient_sub_plan_estimates(
     registry = obs_metrics.registry()
     with obs_trace.span(
         "inference", estimator=estimator_name, sub_plans=len(sub_queries)
-    ):
+    ) as span:
+        # Fast path: one batched call prices the whole sub-plan space.
+        # Any failure inside it (including a wrong-length result) falls
+        # through to the per-sub-plan retry/fallback loop below, which
+        # re-runs everything with full failure isolation.  A *bounded*
+        # per-query deadline disables the fast path outright: a batch
+        # call is indivisible, so only the loop — which checks the
+        # deadline cooperatively between sub-plans — can honour the
+        # budget.
+        bounded_deadline = deadline is not None and deadline.remaining() is not None
+        batch = getattr(estimator, "estimate_batch", None)
+        if sub_queries and batch is not None and not bounded_deadline:
+            started = time.perf_counter()
+            try:
+                estimates = batch(list(sub_queries.values()))
+                if len(estimates) != len(sub_queries):
+                    raise EstimationError(
+                        f"estimate_batch returned {len(estimates)} estimates "
+                        f"for {len(sub_queries)} sub-plans"
+                    )
+                cards = {
+                    subset: max(1.0, float(estimate))
+                    for subset, estimate in zip(sub_queries, estimates)
+                }
+            except Exception as exc:
+                registry.counter("resilience.batch_inference_degraded").inc()
+                obs_events.emit(
+                    "inference.batch_degraded",
+                    level="warning",
+                    reason=f"{type(exc).__name__}: {exc}",
+                    sub_plans=len(sub_queries),
+                )
+            else:
+                elapsed = time.perf_counter() - started
+                outcome.cards = cards
+                outcome.attempts = len(sub_queries)
+                if obs_trace.is_active():
+                    span.set(batch_seconds=elapsed)
+                    record_batch_inference(
+                        estimator_name, len(sub_queries), elapsed
+                    )
+                return outcome
         histogram = (
             registry.histogram(f"inference.latency_seconds.{estimator_name}")
             if obs_trace.is_active()

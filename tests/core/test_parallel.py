@@ -1,9 +1,16 @@
 """Tests for the multi-process workload runner."""
 
+import os
+
 import pytest
 
 from repro.core.benchmark import EndToEndBenchmark
-from repro.core.parallel import default_workers, fork_available
+from repro.core.parallel import (
+    default_workers,
+    dispatch_chunks,
+    fork_available,
+    run_parallel,
+)
 from repro.estimators.postgres import PostgresEstimator
 from repro.estimators.truecard import TrueCardEstimator
 from repro.obs import metrics as obs_metrics
@@ -27,8 +34,64 @@ class TestHelpers:
     def test_default_workers_positive(self):
         assert default_workers() >= 1
 
+    def test_default_workers_respects_affinity(self):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("sched_getaffinity unavailable")
+        assert default_workers() == max(1, len(os.sched_getaffinity(0)))
+
+    def test_default_workers_capped_at_pending(self):
+        assert default_workers(pending=1) == 1
+        assert default_workers(pending=0) == 1  # never zero workers
+        # A huge pending count leaves the affinity-derived value alone.
+        assert default_workers(pending=10_000) == default_workers()
+
     def test_workers_clamped(self, stats_db, stats_workload):
         assert EndToEndBenchmark(stats_db, stats_workload, workers=0).workers == 1
+
+
+class TestDispatchChunks:
+    def test_covers_every_index_in_order(self):
+        for num_tasks in (1, 2, 7, 24, 100):
+            for workers in (1, 2, 8):
+                chunks = dispatch_chunks(num_tasks, workers)
+                flat = [index for chunk in chunks for index in chunk]
+                assert flat == list(range(num_tasks)), (num_tasks, workers)
+
+    def test_auto_size_amortises_round_trips(self):
+        # 100 tasks over 4 workers: ~4 round-trips per worker.
+        chunks = dispatch_chunks(100, 4)
+        assert all(len(chunk) == 6 for chunk in chunks[:-1])
+        assert len(chunks) <= 4 * 4 + 1
+
+    def test_small_workloads_stay_per_query(self):
+        # Fewer tasks than workers*4: singleton chunks, nothing starves.
+        chunks = dispatch_chunks(6, 2)
+        assert chunks == [[0], [1], [2], [3], [4], [5]]
+
+    def test_explicit_chunk_size(self):
+        assert dispatch_chunks(7, 2, chunk_size=3) == [[0, 1, 2], [3, 4, 5], [6]]
+        assert dispatch_chunks(4, 8, chunk_size=100) == [[0, 1, 2, 3]]
+
+    def test_degenerate_inputs(self):
+        assert dispatch_chunks(0, 4) == []
+        assert dispatch_chunks(3, 0) == [[0], [1], [2]]
+        assert dispatch_chunks(3, 2, chunk_size=0) == [[0], [1], [2]]
+
+
+@needs_fork
+class TestChunkedEquivalence:
+    """Multi-query chunks must not change results or their order."""
+
+    def test_chunked_run_matches_serial(self, bench, stats_db, subset):
+        estimator = PostgresEstimator().fit(stats_db)
+        serial = bench.run(estimator, queries=subset)
+        runs = run_parallel(bench, estimator, subset, 2, chunk_size=3)
+        assert [r.query_name for r in runs] == [
+            r.query_name for r in serial.query_runs
+        ]
+        for s, p in zip(serial.query_runs, runs):
+            assert s.result_cardinality == p.result_cardinality
+            assert s.q_errors == p.q_errors
 
 
 @needs_fork

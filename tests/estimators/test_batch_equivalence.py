@@ -1,0 +1,146 @@
+"""Batch-vs-loop equivalence sweep over every registered estimator.
+
+The batched inference hot path (`repro.core.injection.estimate_sub_plans`)
+relies on `estimate_batch(queries)` agreeing with the per-query
+`estimate` loop.  This sweep pins that contract on real STATS-CEB
+sub-plan queries for every estimator family — the ones with true
+vectorised batch paths (LW-NN, MSCN, LW-XGB), the memoized arithmetic
+ones (Postgres, MultiHist), the composites (Adaptive, Safeguarded) and
+everything inheriting the default fallback loop.  Fuzzed-database
+coverage lives in the ``batch`` invariant of ``repro check``.
+
+Tolerance is 1e-9 relative: vectorised implementations may reorder
+float reductions (stacked matmuls vs per-row dot products), which can
+move the last ulp; anything larger is a semantic divergence.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.injection import sub_plan_queries
+from repro.estimators.datad import (
+    BayesCardEstimator,
+    DeepDBEstimator,
+    FlatEstimator,
+    NeuroCardEstimator,
+)
+from repro.estimators.extensions import AdaptiveEstimator, SafeguardedEstimator
+from repro.estimators.multihist import MultiHistEstimator
+from repro.estimators.pessest import PessimisticEstimator
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.queryd import (
+    LWNNEstimator,
+    LWXGBEstimator,
+    MSCNEstimator,
+    UAEQEstimator,
+)
+from repro.estimators.unisample import UniSampleEstimator
+from repro.estimators.wjsample import WanderJoinEstimator
+
+RTOL = 1e-9
+
+DATA_DRIVEN_FACTORIES = [
+    PostgresEstimator,
+    MultiHistEstimator,
+    UniSampleEstimator,
+    WanderJoinEstimator,
+    PessimisticEstimator,
+    BayesCardEstimator,
+    DeepDBEstimator,
+    FlatEstimator,
+    lambda: NeuroCardEstimator(num_samples=1_500, epochs=3, max_trees=3),
+    lambda: AdaptiveEstimator(
+        cheap=PostgresEstimator(), accurate=MultiHistEstimator()
+    ),
+    lambda: SafeguardedEstimator(
+        base=PostgresEstimator(), bound=PessimisticEstimator()
+    ),
+]
+
+QUERY_DRIVEN_FACTORIES = [
+    lambda: MSCNEstimator(epochs=4),
+    lambda: LWNNEstimator(epochs=8),
+    lambda: LWXGBEstimator(num_trees=25),
+    lambda: UAEQEstimator(epochs=8, inference_samples=8),
+]
+
+
+@pytest.fixture(scope="module")
+def fitted(stats_db, training_examples):
+    """One estimator per registered family, fitted once per module."""
+    estimators = [factory().fit(stats_db) for factory in DATA_DRIVEN_FACTORIES]
+    for factory in QUERY_DRIVEN_FACTORIES:
+        estimator = factory().fit(stats_db)
+        estimator.fit_queries(training_examples)
+        estimators.append(estimator)
+    return estimators
+
+
+@pytest.fixture(scope="module")
+def sub_plan_batch(stats_workload):
+    """Sub-plan query spaces of several STATS-CEB queries, flattened."""
+    queries = []
+    for labeled in stats_workload.queries[:6]:
+        queries.extend(sub_plan_queries(labeled.query).values())
+    assert len(queries) > 10
+    return queries
+
+
+def _ids(fitted):
+    return [e.name for e in fitted]
+
+
+def test_every_family_covered(fitted):
+    names = {e.name for e in fitted}
+    assert len(names) == len(fitted)
+    assert len(names) == 15
+
+
+def test_batch_matches_loop(fitted, sub_plan_batch):
+    """The core contract, per estimator, on the whole mixed batch."""
+    for estimator in fitted:
+        looped = [float(estimator.estimate(q)) for q in sub_plan_batch]
+        batched = estimator.estimate_batch(list(sub_plan_batch))
+        assert len(batched) == len(looped), estimator.name
+        for index, (loop_value, batch_value) in enumerate(
+            zip(looped, batched)
+        ):
+            assert math.isclose(
+                loop_value, float(batch_value), rel_tol=RTOL, abs_tol=1e-12
+            ), (
+                f"{estimator.name} sub-plan #{index} "
+                f"({sorted(sub_plan_batch[index].tables)}): "
+                f"loop={loop_value!r} batch={float(batch_value)!r}"
+            )
+
+
+def test_empty_batch(fitted):
+    for estimator in fitted:
+        assert estimator.estimate_batch([]) == [], estimator.name
+
+
+def test_singleton_batch(fitted, sub_plan_batch):
+    """A one-element batch must behave exactly like a scalar call."""
+    query = sub_plan_batch[0]
+    for estimator in fitted:
+        assert math.isclose(
+            float(estimator.estimate(query)),
+            float(estimator.estimate_batch([query])[0]),
+            rel_tol=RTOL,
+            abs_tol=1e-12,
+        ), estimator.name
+
+
+def test_batch_order_independence(fitted, sub_plan_batch):
+    """Reversing the batch must permute, not perturb, the estimates."""
+    queries = list(sub_plan_batch[:8])
+    for estimator in fitted:
+        forward = estimator.estimate_batch(queries)
+        backward = estimator.estimate_batch(list(reversed(queries)))
+        for a, b in zip(forward, reversed(backward)):
+            assert math.isclose(
+                float(a), float(b), rel_tol=RTOL, abs_tol=1e-12
+            ), estimator.name

@@ -180,9 +180,11 @@ class TestRetryRecovery:
         run = bench.run(failer, queries=subset[:1])
         (query_run,) = run.query_runs
         assert query_run.failed is True
-        # Exactly one call per sub-plan: the deterministic error went
-        # straight to the fallback without burning the retry budget.
-        assert failer.calls == len(sub_plan_sets(subset[0].query))
+        # One probing call from the batch fast path (its first sub-plan
+        # raises and the whole batch degrades), then exactly one call
+        # per sub-plan: the deterministic error went straight to the
+        # fallback without burning the 5-attempt retry budget.
+        assert failer.calls == len(sub_plan_sets(subset[0].query)) + 1
 
     def test_executor_flake_recovers_under_retry_policy(
         self, stats_db, stats_workload, subset, postgres, baseline

@@ -105,6 +105,58 @@ class TestCrashRecovery:
 
 
 @needs_fork
+class TestChunkedCrashRecovery:
+    def test_chunk_mates_requeued_without_blame(
+        self, bench, subset, postgres, stats_workload, tmp_path
+    ):
+        """A worker dying mid-chunk loses nothing: the in-flight query
+        is requeued against its crash budget, and the chunk's unstarted
+        queries are redispatched carrying no blame."""
+        from repro.core.parallel import run_parallel
+
+        victim = subset[0].query.name  # first of its chunk: mates unstarted
+        estimator = WorkerKillingEstimator(
+            postgres, kill_queries={victim}, marker_path=tmp_path / "crashed"
+        )
+        obs_metrics.reset()
+        runs = run_parallel(bench, estimator, subset, 2, chunk_size=3)
+
+        assert [r.query_name for r in runs] == [
+            labeled.query.name for labeled in subset
+        ]
+        assert all(not r.failed for r in runs)
+        labels = {q.query.name: q.true_cardinality for q in stats_workload}
+        for query_run in runs:
+            if not query_run.aborted:
+                assert query_run.result_cardinality == labels[query_run.query_name]
+        counters = obs_metrics.snapshot()["counters"]
+        assert counters["benchmark.worker_crashes"] == 1
+        obs_metrics.reset()
+
+    def test_poison_chunk_fails_only_the_poison_query(
+        self, bench, subset, postgres
+    ):
+        """A query that kills every worker must not drag its chunk-mates
+        past their (unburned) crash budgets."""
+        from repro.core.parallel import run_parallel
+
+        victim = subset[1].query.name  # mid-chunk: a mate is in flight
+        estimator = WorkerKillingEstimator(postgres, kill_queries={victim})
+        obs_metrics.reset()
+        runs = run_parallel(bench, estimator, subset, 2, chunk_size=3)
+
+        by_name = {r.query_name: r for r in runs}
+        assert by_name[victim].failed is True
+        assert "worker crashed" in by_name[victim].error
+        others = [r for r in runs if r.query_name != victim]
+        assert all(not r.failed for r in others)
+        counters = obs_metrics.snapshot()["counters"]
+        assert counters["benchmark.worker_crashes"] == 2
+        assert counters["benchmark.failed_queries"] == 1
+        obs_metrics.reset()
+
+
+@needs_fork
 class TestParallelCheckpoint:
     def test_parallel_run_checkpoints_every_completion(
         self, bench, subset, postgres, tmp_path
