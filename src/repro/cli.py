@@ -31,6 +31,7 @@ from repro.engine.sql import parse_query
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ESTIMATOR_ORDER, ExperimentContext
 from repro.obs import trace as obs_trace
+from repro.obs.httpd import ServerStartError
 
 
 def _context(args) -> ExperimentContext:
@@ -272,11 +273,14 @@ def cmd_bench(args) -> int:
     live = args.progress_out is not None or args.metrics_addr is not None
     if live:
         obs_progress.activate(snapshot_path=args.progress_out)
-    server = (
-        obs_progress.MetricsServer(args.metrics_addr, run_id=run_id)
-        if args.metrics_addr
-        else None
-    )
+    server = None
+    if args.metrics_addr:
+        try:
+            server = obs_progress.MetricsServer(args.metrics_addr, run_id=run_id)
+        except (ValueError, ServerStartError) as error:
+            print(f"error: {error}")
+            return 2
+        server.start()
     if server is not None:
         host, port = server.address
         print(f"  metrics endpoint:    http://{host}:{port}/metrics")
@@ -357,6 +361,73 @@ def cmd_bench(args) -> int:
         print(f"  manifest:            {args.manifest}")
     if args.profile:
         prof_phases.deactivate()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived estimation-as-a-service HTTP process."""
+    import uuid
+
+    from repro.serve import EstimationService, ModelRegistry, build_server
+
+    config = dataclasses.replace(
+        ExperimentConfig.named(args.mode), max_retries=max(0, args.max_retries)
+    )
+    context = ExperimentContext(config)
+    workload_name = _workload_for(args.database)
+    database = context.database(args.database)
+    run_id = uuid.uuid4().hex[:12]
+
+    registry = ModelRegistry()
+    print(f"Training initial model: {args.estimator} on {workload_name} ...")
+    estimator = context.fitted_estimator(args.estimator, workload_name)
+    registry.promote(estimator, source=f"trained:{args.estimator}")
+
+    service = EstimationService(
+        database,
+        registry,
+        trainer=lambda name: context.fitted_estimator(name, workload_name),
+        retry=context.retry_policy(),
+        request_timeout_seconds=args.request_timeout,
+        batching=not args.no_batching,
+        batch_window_seconds=args.batch_window_ms / 1000.0,
+        max_queue=args.max_queue,
+        max_in_flight=args.max_in_flight,
+        run_id=run_id,
+    )
+    try:
+        server = build_server(service, args.serve_addr)
+    except (ValueError, ServerStartError) as error:
+        print(f"error: {error}")
+        return 2
+    service.start()
+    server.start()
+    host, port = server.address
+    mode = "micro-batched" if service.batching else "request-at-a-time"
+    print(f"Serving estimates at http://{host}:{port} ({mode}, run {run_id})")
+    print("  POST /estimate | /estimate_batch | /subplans | /admin/promote")
+    print("  GET  /healthz | /metrics | /models")
+    try:
+        service.shutdown_requested.wait(
+            timeout=args.max_seconds if args.max_seconds else None
+        )
+    except KeyboardInterrupt:
+        print("\ninterrupted")
+    finally:
+        server.close()
+        service.close()
+    from repro.obs import metrics as obs_metrics
+
+    counters = obs_metrics.snapshot()["counters"]
+    served = sum(
+        int(count)
+        for name, count in counters.items()
+        if name.startswith("serve.requests.")
+    )
+    print(
+        f"Shut down cleanly after {service.uptime_seconds():.1f}s "
+        f"({served} requests served)"
+    )
     return 0
 
 
@@ -612,6 +683,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="where --profile artifacts go (default: results/profile)",
     )
     bench.set_defaults(handler=cmd_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the estimation-as-a-service HTTP process: trained "
+        "estimators answer /estimate, /estimate_batch and /subplans "
+        "with cross-client micro-batching, hot-swap promotion and "
+        "admission control",
+    )
+    serve.add_argument("--database", default="stats", choices=["stats", "imdb"])
+    serve.add_argument(
+        "--estimator",
+        default="LW-XGB",
+        choices=list(ESTIMATOR_ORDER),
+        help="CardEst method trained and promoted as the default model",
+    )
+    serve.add_argument(
+        "--serve-addr",
+        metavar="HOST:PORT",
+        default="127.0.0.1:9570",
+        help="address to serve on (:0 picks a free port)",
+    )
+    serve.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="serve request-at-a-time instead of micro-batching "
+        "concurrent requests into one estimate_batch call",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=1.0,
+        metavar="MS",
+        help="max extra wait for micro-batch stragglers (default 1ms)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="admission control: queued requests beyond N get 429",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=256,
+        metavar="N",
+        help="admission control without batching: concurrent "
+        "requests beyond N get 429",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts per failed estimation request",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; overruns degrade to the "
+        "PostgreSQL-default fallback estimate",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long (default: serve until SIGINT or "
+        "POST /admin/shutdown)",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     profile = commands.add_parser(
         "profile",

@@ -181,7 +181,16 @@ class _Parser:
     def _column_ref(self) -> tuple[str, str]:
         table = self._identifier()
         self._expect_symbol(".")
-        return table, self._identifier()
+        return table, self._column_name()
+
+    def _column_name(self) -> str:
+        # After a ``.`` the next word is always a column name, so
+        # keyword collisions (STATS has a ``tags.Count`` column) are
+        # fine here — only bare identifiers reject keywords.
+        token = self._next()
+        if token.kind != "word":
+            raise SqlParseError(f"expected column name, found {token.text!r}")
+        return token.text
 
     def _number(self) -> float:
         token = self._next()

@@ -1,0 +1,266 @@
+"""Shared routed HTTP machinery for the live endpoints.
+
+Both live HTTP surfaces — the campaign telemetry endpoint
+(:class:`repro.obs.progress.MetricsServer`) and the estimation service
+(:mod:`repro.serve`) — are stdlib ``ThreadingHTTPServer`` instances
+with the same operational needs, factored out here:
+
+- a **route table** keyed by ``(method, path)``, matched on the *path
+  component only* (``urllib.parse.urlsplit``), so ``/healthz?probe=1``
+  hits the ``/healthz`` route instead of falling through to 404;
+- a **bind/start split**: the constructor binds the socket (so an
+  address conflict raises :class:`ServerStartError` before any thread
+  exists) and :meth:`RoutedHTTPServer.start` starts serving;
+- an **idempotent** :meth:`RoutedHTTPServer.close` that reports
+  whether the serving thread actually joined;
+- **benign client aborts** (a scraper or load generator disconnecting
+  mid-response) swallowed instead of splattered across stderr as
+  ``BrokenPipeError`` tracebacks.
+
+Handlers speak HTTP/1.1 with explicit ``Content-Length``, so clients
+can keep connections alive — the estimation service's load generator
+depends on that to measure serving, not TCP setup.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Exceptions raised when the *client* goes away mid-request; routine
+#: under load, never worth a traceback.
+CLIENT_ABORT_ERRORS = (
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    TimeoutError,
+)
+
+
+class ServerStartError(RuntimeError):
+    """The server socket could not be bound (address in use, bad host)."""
+
+
+class HTTPError(Exception):
+    """A route failure with an explicit HTTP status.
+
+    Routes raise this (or a :class:`ServerStartError`-style subclass
+    mapped by the app layer) to produce a structured JSON error body
+    instead of a 500.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def parse_address(addr: str, flag: str = "--metrics-addr") -> tuple[str, int]:
+    """``HOST:PORT`` / ``:PORT`` -> ``(host, port)``; ValueError on junk."""
+    host, _, port_text = addr.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"{flag} expects HOST:PORT or :PORT, got {addr!r}"
+        ) from None
+    return host, port
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request as seen by a route callable."""
+
+    method: str
+    path: str
+    params: dict[str, list[str]] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The request body as a JSON object; HTTP 400 on anything else."""
+        if not self.body:
+            raise HTTPError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise HTTPError(400, f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "request body must be a JSON object")
+        return payload
+
+
+@dataclass
+class Response:
+    """What a route returns; ``body`` may be bytes, text or a JSON dict."""
+
+    status: int = 200
+    body: bytes | str | dict = b""
+    content_type: str = "application/json"
+
+    def encoded(self) -> bytes:
+        if isinstance(self.body, bytes):
+            return self.body
+        if isinstance(self.body, str):
+            return self.body.encode()
+        return (json.dumps(self.body, sort_keys=True) + "\n").encode()
+
+
+def json_response(payload: dict, status: int = 200) -> Response:
+    return Response(status=status, body=payload)
+
+
+def text_response(text: str, content_type: str = "text/plain") -> Response:
+    return Response(body=text, content_type=content_type)
+
+
+def _normalize(path: str) -> str:
+    return path.rstrip("/") or "/"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route-table dispatcher; one instance per connection."""
+
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate writes; without TCP_NODELAY,
+    # Nagle holds the body back waiting on the client's delayed ACK
+    # (~40ms per request on Linux).
+    disable_nagle_algorithm = True
+    server: "_Server"
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        parts = urlsplit(self.path)
+        path = _normalize(parts.path)
+        routes = self.server.router.routes
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length > 0 else b""
+        route = routes.get((method, path))
+        if route is None:
+            known = sorted({m for m, p in routes if p == path})
+            if known:
+                self._respond(
+                    json_response(
+                        {"error": f"{path} only supports {', '.join(known)}"},
+                        status=405,
+                    )
+                )
+            else:
+                self._respond(json_response({"error": f"no route {path}"}, 404))
+            return
+        request = Request(
+            method=method, path=path, params=parse_qs(parts.query), body=body
+        )
+        try:
+            response = route(request)
+        except HTTPError as error:
+            response = json_response({"error": str(error)}, status=error.status)
+        except Exception as error:  # route bug: structured 500, keep serving
+            response = json_response(
+                {"error": f"{type(error).__name__}: {error}"}, status=500
+            )
+        self._respond(response)
+
+    def _respond(self, response: Response) -> None:
+        try:
+            body = response.encoded()
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except CLIENT_ABORT_ERRORS:
+            self.close_connection = True  # client is gone; drop quietly
+
+    def log_message(self, *args) -> None:
+        pass  # endpoints are polled; keep stderr clean
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # The socketserver default backlog (5) drops connections when many
+    # clients connect in a burst; serving tolerates 64+ concurrent.
+    request_queue_size = 128
+    router: "RoutedHTTPServer"
+
+    def handle_error(self, request, client_address) -> None:
+        """Swallow client-abort errors; report anything else as stdlib does."""
+        if isinstance(sys.exc_info()[1], CLIENT_ABORT_ERRORS):
+            return
+        super().handle_error(request, client_address)
+
+
+class RoutedHTTPServer:
+    """A bind/start-split threaded HTTP server over a route table.
+
+    The constructor *binds* (raising :class:`ServerStartError` on an
+    address conflict, before any thread starts); :meth:`start` begins
+    serving on a daemon thread; :meth:`close` is idempotent and
+    returns whether that thread actually joined.
+    """
+
+    def __init__(
+        self,
+        addr: str,
+        flag: str = "--metrics-addr",
+        thread_name: str = "repro-httpd",
+    ):
+        host, port = parse_address(addr, flag=flag)
+        self.routes: dict[tuple[str, str], object] = {}
+        self._thread_name = thread_name
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        try:
+            self._server = _Server((host, port), _Handler)
+        except OSError as error:
+            raise ServerStartError(
+                f"cannot bind {flag}={addr!r}: {error.strerror or error}"
+            ) from error
+        self._server.router = self
+
+    def add_route(self, method: str, path: str, fn) -> None:
+        self.routes[(method.upper(), _normalize(path))] = fn
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — callers may bind port 0."""
+        return self._server.server_address[:2]
+
+    @property
+    def started(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "RoutedHTTPServer":
+        if self._closed:
+            raise RuntimeError("server already closed")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name=self._thread_name,
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> bool:
+        """Stop serving; safe to call twice.  True iff no serving thread
+        remains alive (a never-started server closes trivially)."""
+        if not self._closed:
+            self._closed = True
+            if self._thread is not None:
+                self._server.shutdown()
+            self._server.server_close()
+        if self._thread is None:
+            return True
+        self._thread.join(timeout=timeout)
+        return not self._thread.is_alive()

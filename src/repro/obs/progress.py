@@ -23,17 +23,23 @@ single global read on untelemetered runs.
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import re
 import threading
 import time
 from collections import deque
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.obs import metrics as obs_metrics
+from repro.obs.httpd import (
+    PROMETHEUS_CONTENT_TYPE,
+    Request,
+    Response,
+    RoutedHTTPServer,
+    json_response,
+    text_response,
+)
 
 #: Completions kept for the recent-throughput window.
 _RECENT_WINDOW = 32
@@ -312,66 +318,55 @@ class SnapshotWriter:
 class MetricsServer:
     """Stdlib HTTP server exposing ``/metrics``, ``/progress``, ``/healthz``.
 
-    Runs on a daemon thread; ``address`` reports the bound (host, port)
-    so callers (and tests) can pass port 0.  Never required for a
-    campaign — the snapshot file covers scrape-from-disk setups.
-    ``/healthz`` answers 200 with the campaign's ``run_id`` whenever the
-    server thread is alive, so external watchdogs can distinguish "the
-    campaign is slow" from "the process is gone".
+    Built on the shared :class:`repro.obs.httpd.RoutedHTTPServer`: the
+    constructor binds the address (an occupied port raises
+    :class:`repro.obs.httpd.ServerStartError` before any thread
+    starts), :meth:`start` begins serving on a daemon thread, and
+    paths are matched on the path component only, so query strings
+    (``/healthz?probe=1``) route normally.  ``address`` reports the
+    bound (host, port) so callers (and tests) can pass port 0.  Never
+    required for a campaign — the snapshot file covers
+    scrape-from-disk setups.  ``/healthz`` answers 200 with the
+    campaign's ``run_id`` whenever the server thread is alive, so
+    external watchdogs can distinguish "the campaign is slow" from
+    "the process is gone".
     """
 
     def __init__(self, addr: str = "127.0.0.1:9464", run_id: str = ""):
         self.run_id = run_id
-        host, _, port_text = addr.rpartition(":")
-        host = host or "127.0.0.1"
-        try:
-            port = int(port_text)
-        except ValueError:
-            raise ValueError(
-                f"--metrics-addr expects HOST:PORT or :PORT, got {addr!r}"
-            ) from None
-
-        class Handler(BaseHTTPRequestHandler):
-            def do_GET(handler) -> None:  # noqa: N805 — stdlib handler idiom
-                if handler.path.rstrip("/") in ("", "/metrics".rstrip("/")):
-                    body = prometheus_text(tracker=active_tracker()).encode()
-                    content_type = "text/plain; version=0.0.4; charset=utf-8"
-                elif handler.path.rstrip("/") == "/progress":
-                    tracker = active_tracker()
-                    payload = tracker.snapshot() if tracker is not None else {}
-                    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
-                    content_type = "application/json"
-                elif handler.path.rstrip("/") == "/healthz":
-                    payload = {"status": "ok", "run_id": run_id}
-                    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
-                    content_type = "application/json"
-                else:
-                    handler.send_error(404)
-                    return
-                handler.send_response(200)
-                handler.send_header("Content-Type", content_type)
-                handler.send_header("Content-Length", str(len(body)))
-                handler.end_headers()
-                handler.wfile.write(body)
-
-            def log_message(handler, *args) -> None:  # noqa: N805
-                pass  # scrapes poll; keep stderr clean
-
-        self._server = ThreadingHTTPServer((host, port), Handler)
-        self._server.daemon_threads = True
-        self._thread = threading.Thread(
-            target=self._server.serve_forever, name="repro-metrics", daemon=True
+        self._http = RoutedHTTPServer(
+            addr, flag="--metrics-addr", thread_name="repro-metrics"
         )
-        self._thread.start()
+        self._http.add_route("GET", "/", self._metrics)
+        self._http.add_route("GET", "/metrics", self._metrics)
+        self._http.add_route("GET", "/progress", self._progress)
+        self._http.add_route("GET", "/healthz", self._healthz)
+
+    def _metrics(self, request: Request) -> Response:
+        return text_response(
+            prometheus_text(tracker=active_tracker()),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+
+    def _progress(self, request: Request) -> Response:
+        tracker = active_tracker()
+        return json_response(tracker.snapshot() if tracker is not None else {})
+
+    def _healthz(self, request: Request) -> Response:
+        return json_response({"status": "ok", "run_id": self.run_id})
+
+    def start(self) -> "MetricsServer":
+        """Begin serving (separate from the bind in the constructor)."""
+        self._http.start()
+        return self
 
     @property
     def address(self) -> tuple[str, int]:
-        return self._server.server_address[:2]
+        return self._http.address
 
-    def close(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
-        self._thread.join(timeout=5.0)
+    def close(self, timeout: float = 5.0) -> bool:
+        """Stop serving; idempotent.  True iff the thread joined."""
+        return self._http.close(timeout=timeout)
 
 
 # -- module-level live view ---------------------------------------------------

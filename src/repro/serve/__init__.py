@@ -1,0 +1,42 @@
+"""Estimation-as-a-service: a concurrent serving layer.
+
+The paper evaluates CardEst methods as offline artifacts; this package
+is the deployment shape its end-to-end claim actually lives in — a
+long-lived process answering estimation requests over HTTP:
+
+- :mod:`repro.serve.registry` — named estimator versions with atomic
+  hot-swap (train offline, promote under a lock);
+- :mod:`repro.serve.batching` — cross-client micro-batching: a
+  collector thread drains a bounded request queue into one
+  ``estimate_batch`` call, with admission control (429 on overflow);
+- :mod:`repro.serve.service` — the transport-free service core:
+  parse-cached SQL, per-request retry/timeout/fallback via the
+  :mod:`repro.resilience` policies, sub-plan-space pricing through the
+  batched :mod:`repro.core.injection` path;
+- :mod:`repro.serve.app` — the HTTP surface (``POST /estimate``,
+  ``/estimate_batch``, ``/subplans``, ``/admin/promote``, plus
+  ``/metrics`` and ``/healthz``) on the shared
+  :mod:`repro.obs.httpd` machinery;
+- :mod:`repro.serve.loadgen` — the closed-loop load generator behind
+  ``benchmarks/bench_serve.py`` (QPS, p50/p99 at 1/8/64 clients).
+"""
+
+from repro.serve.app import build_server
+from repro.serve.batching import AdmissionError, MicroBatcher
+from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.registry import ModelRegistry, ModelVersion, UnknownModelError
+from repro.serve.service import BadRequestError, EstimationService, ServiceError
+
+__all__ = [
+    "AdmissionError",
+    "BadRequestError",
+    "EstimationService",
+    "LoadReport",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelVersion",
+    "ServiceError",
+    "UnknownModelError",
+    "build_server",
+    "run_load",
+]

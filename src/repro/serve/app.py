@@ -1,0 +1,147 @@
+"""The HTTP surface of the estimation service.
+
+Routes (all JSON bodies/responses):
+
+- ``POST /estimate``        — ``{"sql": "...", "model": "name"?}`` ->
+  one estimate (micro-batched across clients when batching is on);
+- ``POST /estimate_batch``  — ``{"sql": ["...", ...], "model": ...}``;
+- ``POST /subplans``        — the whole connected-sub-plan space of
+  one query, priced through the batched injection path;
+- ``POST /admin/promote``   — ``{"estimator": "LW-XGB"}`` (train) or
+  ``{"path": "model.pkl"}`` (load), then atomic hot-swap;
+- ``POST /admin/shutdown``  — ask the serving process to exit cleanly;
+- ``GET /models`` ``/healthz`` ``/metrics`` (Prometheus text, the
+  whole obs registry — request counters, latency histograms, batch
+  sizes — plus any active campaign tracker).
+
+Status mapping: 400 malformed request, 404 unknown model/route, 405
+wrong method, 429 admission control, 504 request deadline, 500
+anything else (still JSON).  Every route is instrumented into the
+:mod:`repro.obs.metrics` registry: ``serve.requests.<route>``,
+``serve.errors.<route>`` and ``serve.latency_seconds.<route>``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.httpd import (
+    PROMETHEUS_CONTENT_TYPE,
+    HTTPError,
+    Request,
+    Response,
+    RoutedHTTPServer,
+    json_response,
+    text_response,
+)
+from repro.obs.progress import active_tracker, prometheus_text
+from repro.serve.batching import AdmissionError, BatcherClosedError
+from repro.serve.registry import UnknownModelError
+from repro.serve.service import BadRequestError, EstimationService
+
+#: service exception -> HTTP status.
+_STATUS_OF = (
+    (BadRequestError, 400),
+    (UnknownModelError, 404),
+    (AdmissionError, 429),
+    (BatcherClosedError, 503),
+    (TimeoutError, 504),
+)
+
+
+def _instrumented(route_name: str, fn):
+    """Wrap a route with request metrics and error-status mapping."""
+
+    def route(request: Request) -> Response:
+        registry = obs_metrics.registry()
+        registry.counter(f"serve.requests.{route_name}").inc()
+        started = time.perf_counter()
+        try:
+            return fn(request)
+        except HTTPError:
+            registry.counter(f"serve.errors.{route_name}").inc()
+            raise
+        except Exception as error:
+            registry.counter(f"serve.errors.{route_name}").inc()
+            for exc_type, status in _STATUS_OF:
+                if isinstance(error, exc_type):
+                    raise HTTPError(status, str(error)) from error
+            raise
+        finally:
+            registry.histogram(f"serve.latency_seconds.{route_name}").observe(
+                time.perf_counter() - started
+            )
+
+    return route
+
+
+def _sql_list(payload: dict) -> list:
+    sqls = payload.get("sql")
+    if isinstance(sqls, str):
+        return [sqls]
+    if isinstance(sqls, list) and sqls:
+        return sqls
+    raise HTTPError(400, "'sql' must be a non-empty string or list of strings")
+
+
+def build_server(
+    service: EstimationService, addr: str, flag: str = "--serve-addr"
+) -> RoutedHTTPServer:
+    """Bind (not start) a routed HTTP server around ``service``."""
+    server = RoutedHTTPServer(addr, flag=flag, thread_name="repro-serve")
+
+    def estimate(request: Request) -> Response:
+        payload = request.json()
+        result = service.estimate_many(
+            _sql_list(payload), model=payload.get("model")
+        )
+        if isinstance(payload.get("sql"), str):
+            result["estimate"] = result["estimates"][0]
+        return json_response(result)
+
+    def sub_plans(request: Request) -> Response:
+        payload = request.json()
+        sql = payload.get("sql")
+        if not isinstance(sql, str):
+            raise HTTPError(400, "'sql' must be a string")
+        return json_response(service.sub_plans(sql, model=payload.get("model")))
+
+    def promote(request: Request) -> Response:
+        payload = request.json()
+        return json_response(
+            service.promote(
+                name=payload.get("name"),
+                estimator_name=payload.get("estimator"),
+                path=payload.get("path"),
+            )
+        )
+
+    def shutdown(request: Request) -> Response:
+        service.shutdown_requested.set()
+        return json_response({"status": "shutting down"})
+
+    def models(request: Request) -> Response:
+        return json_response(service.registry.describe())
+
+    def healthz(request: Request) -> Response:
+        return json_response(service.healthz())
+
+    def metrics(request: Request) -> Response:
+        return text_response(
+            prometheus_text(tracker=active_tracker()),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+
+    server.add_route("POST", "/estimate", _instrumented("estimate", estimate))
+    server.add_route(
+        "POST", "/estimate_batch", _instrumented("estimate_batch", estimate)
+    )
+    server.add_route("POST", "/subplans", _instrumented("subplans", sub_plans))
+    server.add_route("POST", "/admin/promote", _instrumented("promote", promote))
+    server.add_route("POST", "/admin/shutdown", shutdown)
+    server.add_route("GET", "/models", models)
+    server.add_route("GET", "/healthz", healthz)
+    server.add_route("GET", "/", metrics)
+    server.add_route("GET", "/metrics", metrics)
+    return server

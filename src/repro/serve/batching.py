@@ -1,0 +1,207 @@
+"""Cross-client micro-batching with admission control.
+
+The estimation hot path is batched (`estimate_batch` prices a whole
+list of queries in one vectorised pass), but HTTP clients arrive one
+request at a time.  The :class:`MicroBatcher` closes that gap: handler
+threads enqueue their queries on a **bounded** queue (overflow is an
+:class:`AdmissionError` — the app layer's 429) and block on a
+per-request event; a single collector thread drains the queue, waits
+up to ``window_seconds`` for stragglers, groups the drained jobs by
+model name and prices each group with **one** ``estimate_batch``
+call, then distributes the slices back to the waiting handlers.
+
+Under load the window barely matters: while one batch is being priced
+the next requests pile up, so batches form naturally.  At low
+concurrency the window *is* the cost of micro-batching — up to
+``window_seconds`` of added latency per request — which is exactly the
+trade-off ``benchmarks/bench_serve.py`` measures at 1/8/64 clients.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.obs import metrics as obs_metrics
+
+
+class AdmissionError(RuntimeError):
+    """The bounded request queue is full (the HTTP layer's 429)."""
+
+
+class BatcherClosedError(RuntimeError):
+    """The batcher is shutting down; the request was not served."""
+
+
+class _Job:
+    """One submitted request: queries in, values (or an error) out."""
+
+    __slots__ = ("model", "queries", "event", "values", "error", "version")
+
+    def __init__(self, model: str | None, queries: list):
+        self.model = model
+        self.queries = queries
+        self.event = threading.Event()
+        self.values: list[float] | None = None
+        self.error: BaseException | None = None
+        self.version: int | None = None
+
+    def resolve(self, values: list[float], version: int | None) -> None:
+        self.values = values
+        self.version = version
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class MicroBatcher:
+    """A collector thread turning concurrent requests into one batch call.
+
+    ``run_batch(model_name, queries) -> (values, version)`` is the
+    execution hook — the service resolves the model name at *drain*
+    time, so a promotion applies atomically to every queued request.
+    """
+
+    def __init__(
+        self,
+        run_batch,
+        max_queue: int = 256,
+        window_seconds: float = 0.001,
+        max_batch: int = 1024,
+    ):
+        self._run_batch = run_batch
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self._queue: queue.Queue[_Job | None] = queue.Queue(maxsize=max_queue)
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._collect, name="repro-serve-batcher", daemon=True
+        )
+
+    def start(self) -> "MicroBatcher":
+        self._thread.start()
+        return self
+
+    @property
+    def depth(self) -> int:
+        """Approximate queued jobs (the /healthz ``queue_depth`` gauge)."""
+        return self._queue.qsize()
+
+    def submit(
+        self,
+        model: str | None,
+        queries: list,
+        timeout_seconds: float | None = 30.0,
+    ) -> tuple[list[float], int | None]:
+        """Enqueue ``queries`` and wait for the batched result.
+
+        Raises :class:`AdmissionError` when the queue is full (callers
+        map it to 429), :class:`BatcherClosedError` on shutdown, and
+        re-raises whatever the estimator raised for this job's group.
+        """
+        if self._closed:
+            raise BatcherClosedError("estimation service is shutting down")
+        job = _Job(model, list(queries))
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            obs_metrics.registry().counter("serve.admission_rejected").inc()
+            raise AdmissionError(
+                f"request queue full ({self.max_queue} pending)"
+            ) from None
+        if not job.event.wait(timeout_seconds):
+            raise TimeoutError(
+                f"batched estimate not served within {timeout_seconds}s"
+            )
+        if job.error is not None:
+            raise job.error
+        return job.values or [], job.version
+
+    # -- collector ---------------------------------------------------------
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if first is None:  # shutdown sentinel
+                self._drain_on_close()
+                return
+            jobs = [first]
+            size = len(first.queries)
+            deadline = time.monotonic() + self.window_seconds
+            while size < self.max_batch:
+                remaining = deadline - time.monotonic()
+                try:
+                    job = (
+                        self._queue.get_nowait()
+                        if remaining <= 0
+                        else self._queue.get(timeout=remaining)
+                    )
+                except queue.Empty:
+                    break
+                if job is None:
+                    self._execute(jobs)
+                    self._drain_on_close()
+                    return
+                jobs.append(job)
+                size += len(job.queries)
+            self._execute(jobs)
+
+    def _execute(self, jobs: list[_Job]) -> None:
+        registry = obs_metrics.registry()
+        groups: dict[str | None, list[_Job]] = {}
+        for job in jobs:
+            groups.setdefault(job.model, []).append(job)
+        for model, group in groups.items():
+            queries = [query for job in group for query in job.queries]
+            try:
+                values, version = self._run_batch(model, queries)
+                if len(values) != len(queries):
+                    raise RuntimeError(
+                        f"batch returned {len(values)} values "
+                        f"for {len(queries)} queries"
+                    )
+            except BaseException as error:  # noqa: BLE001 — handed to waiters
+                for job in group:
+                    job.fail(error)
+                continue
+            registry.histogram("serve.batch_size").observe(float(len(queries)))
+            registry.counter("serve.batches").inc()
+            offset = 0
+            for job in group:
+                job.resolve(values[offset : offset + len(job.queries)], version)
+                offset += len(job.queries)
+
+    def _drain_on_close(self) -> None:
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if job is not None:
+                job.fail(BatcherClosedError("estimation service shut down"))
+
+    def close(self, timeout: float = 5.0) -> bool:
+        """Stop the collector; idempotent.  Pending jobs are failed with
+        :class:`BatcherClosedError`, never silently dropped."""
+        already_closed = self._closed
+        self._closed = True
+        if self._thread.ident is None:  # never started
+            self._drain_on_close()
+            return True
+        if not already_closed:
+            try:
+                self._queue.put_nowait(None)  # wake the collector now
+            except queue.Full:
+                pass  # collector is draining; the timeout poll exits it
+        self._thread.join(timeout=timeout)
+        self._drain_on_close()
+        return not self._thread.is_alive()

@@ -1,0 +1,159 @@
+"""Closed-loop HTTP load generator for the estimation service.
+
+Each client is a thread with one persistent HTTP/1.1 connection (so
+the benchmark measures serving, not TCP setup), issuing its requests
+back-to-back and recording per-request latency.  All clients start on
+a barrier; the report aggregates QPS over the loaded interval and
+p50/p95/p99 latency over every request.
+
+This is the harness behind ``benchmarks/bench_serve.py`` — the
+production-shaped metric (QPS, tail latency at 1/8/64 clients) every
+future performance PR can move — but it is deliberately dependency-free
+so tests can point it at any :class:`~repro.obs.httpd.RoutedHTTPServer`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LoadReport:
+    """Aggregated result of one load run."""
+
+    clients: int
+    requests: int
+    failures: int
+    seconds: float
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    status_counts: dict[int, int] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "failures": self.failures,
+            "seconds": self.seconds,
+            "qps": self.qps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "status_counts": {
+                str(status): count
+                for status, count in sorted(self.status_counts.items())
+            },
+            "errors": self.errors[:5],
+        }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+class _Client(threading.Thread):
+    def __init__(self, address, path, payloads, requests, offset, barrier, timeout):
+        super().__init__(name=f"loadgen-{offset}", daemon=True)
+        self.address = address
+        self.path = path
+        self.payloads = payloads
+        self.requests = requests
+        self.offset = offset
+        self.barrier = barrier
+        self.timeout = timeout
+        self.latencies: list[float] = []
+        self.statuses: list[int] = []
+        self.errors: list[str] = []
+
+    def run(self) -> None:
+        host, port = self.address
+        connection = http.client.HTTPConnection(host, port, timeout=self.timeout)
+        try:
+            self.barrier.wait(timeout=30.0)
+            for index in range(self.requests):
+                payload = self.payloads[(self.offset + index) % len(self.payloads)]
+                body = json.dumps(payload)
+                started = time.perf_counter()
+                try:
+                    connection.request(
+                        "POST",
+                        self.path,
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    response.read()  # drain so the connection can be reused
+                    self.statuses.append(response.status)
+                except Exception as error:
+                    self.errors.append(f"{type(error).__name__}: {error}")
+                    self.statuses.append(-1)
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=self.timeout
+                    )
+                self.latencies.append(time.perf_counter() - started)
+        finally:
+            connection.close()
+
+
+def run_load(
+    address: tuple[str, int],
+    payloads: list[dict],
+    path: str = "/estimate",
+    clients: int = 8,
+    requests_per_client: int = 25,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """Drive ``clients`` concurrent closed-loop clients; aggregate."""
+    barrier = threading.Barrier(clients + 1)
+    workers = [
+        _Client(
+            address,
+            path,
+            payloads,
+            requests_per_client,
+            offset=index * 7,  # decorrelate which payloads each client sends
+            barrier=barrier,
+            timeout=timeout,
+        )
+        for index in range(clients)
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait(timeout=30.0)
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+
+    latencies = sorted(
+        latency for worker in workers for latency in worker.latencies
+    )
+    statuses = [status for worker in workers for status in worker.statuses]
+    status_counts: dict[int, int] = {}
+    for status in statuses:
+        status_counts[status] = status_counts.get(status, 0) + 1
+    failures = sum(1 for status in statuses if status != 200)
+    total = len(statuses)
+    return LoadReport(
+        clients=clients,
+        requests=total,
+        failures=failures,
+        seconds=elapsed,
+        qps=total / elapsed if elapsed > 0 else 0.0,
+        p50_ms=_percentile(latencies, 0.50) * 1000.0,
+        p95_ms=_percentile(latencies, 0.95) * 1000.0,
+        p99_ms=_percentile(latencies, 0.99) * 1000.0,
+        status_counts=status_counts,
+        errors=[error for worker in workers for error in worker.errors],
+    )

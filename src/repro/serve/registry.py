@@ -1,0 +1,115 @@
+"""Named estimator versions with atomic hot-swap.
+
+A serving process must be able to replace a model without dropping
+requests: training happens *offline* (outside any lock), and only the
+pointer swap — :meth:`ModelRegistry.promote` — runs under the
+registry lock.  Readers (:meth:`ModelRegistry.get`) take the same
+lock for a dictionary lookup, so a request sees either the old or the
+new version in its entirety, never a half-swapped state.  Versions
+are monotonically increasing per name, so clients can detect a swap
+from response metadata alone.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import metrics as obs_metrics
+
+
+class UnknownModelError(KeyError):
+    """No model is registered under the requested name."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0] if self.args else ""
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One promoted estimator: the registry's unit of hot-swap."""
+
+    name: str
+    version: int
+    estimator: object = field(repr=False)
+    #: where the estimator came from (``trained:LW-XGB``, ``loaded:<path>``).
+    source: str = ""
+    promoted_unix: float = 0.0
+
+    @property
+    def estimator_name(self) -> str:
+        return getattr(self.estimator, "name", type(self.estimator).__name__)
+
+    def describe(self) -> dict:
+        """JSON-safe metadata (the ``/models`` payload entry)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "estimator": self.estimator_name,
+            "source": self.source,
+            "promoted_unix": self.promoted_unix,
+        }
+
+
+class ModelRegistry:
+    """Thread-safe name -> :class:`ModelVersion` map with swap history."""
+
+    def __init__(self, default_name: str = "default"):
+        self.default_name = default_name
+        self._lock = threading.Lock()
+        self._active: dict[str, ModelVersion] = {}
+        self._versions: dict[str, int] = {}
+
+    def promote(
+        self, estimator, name: str | None = None, source: str = ""
+    ) -> ModelVersion:
+        """Atomically make ``estimator`` the active model under ``name``.
+
+        The estimator must already be fitted — training is the caller's
+        offline step; this method only swaps the pointer (and bumps the
+        per-name version counter) under the lock.
+        """
+        name = name or self.default_name
+        with self._lock:
+            version = self._versions.get(name, 0) + 1
+            self._versions[name] = version
+            model = ModelVersion(
+                name=name,
+                version=version,
+                estimator=estimator,
+                source=source,
+                promoted_unix=time.time(),
+            )
+            self._active[name] = model
+        obs_metrics.registry().counter("serve.promotions").inc()
+        return model
+
+    def get(self, name: str | None = None) -> ModelVersion:
+        """The active version under ``name`` (default model when None)."""
+        name = name or self.default_name
+        with self._lock:
+            model = self._active.get(name)
+        if model is None:
+            raise UnknownModelError(
+                f"no model {name!r} is registered "
+                f"(available: {', '.join(self.names()) or 'none'})"
+            )
+        return model
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._active)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def describe(self) -> dict:
+        """JSON-safe view of every active model (the ``/models`` payload)."""
+        with self._lock:
+            active = dict(self._active)
+        return {
+            "default": self.default_name,
+            "models": {name: model.describe() for name, model in active.items()},
+        }

@@ -1,0 +1,333 @@
+"""The estimation service core, independent of any transport.
+
+One :class:`EstimationService` owns everything a request needs:
+
+- the live :class:`~repro.engine.database.Database` and its join
+  graph (SQL is parsed against it, through a bounded parse cache —
+  the serving analogue of a plan cache);
+- a :class:`~repro.serve.registry.ModelRegistry` of hot-swappable
+  estimators (promotion trains/loads *offline*, then swaps atomically);
+- the :mod:`repro.resilience` policies applied per request: bounded
+  retries, a per-request deadline, and the PostgreSQL-default
+  fallback so an estimator failure degrades a response instead of
+  erroring it;
+- an optional :class:`~repro.serve.batching.MicroBatcher` coalescing
+  concurrent single-query requests into one ``estimate_batch`` call
+  (admission control included); without it, a bounded in-flight
+  semaphore provides the same 429 semantics for direct execution.
+
+Sub-plan-space requests go through
+:func:`repro.resilience.inference.resilient_sub_plan_estimates`, i.e.
+the same batched injection path the benchmark uses, so a serving
+deployment prices a planner's whole sub-plan space in one call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.engine.database import Database
+from repro.engine.query import Query
+from repro.engine.sql import parse_query
+from repro.estimators.base import EstimationError
+from repro.obs import metrics as obs_metrics
+from repro.resilience.fallback import PostgresDefaultFallback
+from repro.resilience.inference import resilient_sub_plan_estimates
+from repro.resilience.policy import Deadline, RetryPolicy, call_with_retry
+from repro.serve.batching import AdmissionError, MicroBatcher
+from repro.serve.registry import ModelRegistry
+
+
+class ServiceError(RuntimeError):
+    """Base class for request-level service failures."""
+
+
+class BadRequestError(ServiceError):
+    """Malformed request content (unparseable SQL, wrong field types)."""
+
+
+class EstimationService:
+    """Answers estimation requests; one instance per serving process."""
+
+    def __init__(
+        self,
+        database: Database,
+        registry: ModelRegistry | None = None,
+        trainer=None,
+        fallback=None,
+        retry: RetryPolicy | None = None,
+        request_timeout_seconds: float | None = None,
+        batching: bool = True,
+        batch_window_seconds: float = 0.001,
+        max_queue: int = 256,
+        max_batch: int = 1024,
+        max_in_flight: int = 256,
+        parse_cache_size: int = 2048,
+        run_id: str = "",
+    ):
+        self.database = database
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.run_id = run_id
+        self._trainer = trainer
+        self._fallback = (
+            fallback if fallback is not None else PostgresDefaultFallback(database)
+        )
+        self._retry = retry
+        self._request_timeout = request_timeout_seconds
+        self._parse_cache: OrderedDict[str, Query] = OrderedDict()
+        self._parse_cache_size = parse_cache_size
+        self._parse_lock = threading.Lock()
+        self._promote_lock = threading.Lock()
+        self._max_in_flight = max_in_flight
+        self._in_flight = threading.BoundedSemaphore(max_in_flight)
+        self._started_monotonic = time.monotonic()
+        self.shutdown_requested = threading.Event()
+        self.batcher: MicroBatcher | None = (
+            MicroBatcher(
+                self._run_batch,
+                max_queue=max_queue,
+                window_seconds=batch_window_seconds,
+                max_batch=max_batch,
+            )
+            if batching
+            else None
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "EstimationService":
+        if self.batcher is not None:
+            self.batcher.start()
+        return self
+
+    def close(self) -> None:
+        if self.batcher is not None:
+            self.batcher.close()
+
+    @property
+    def batching(self) -> bool:
+        return self.batcher is not None
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    # -- request building blocks -------------------------------------------
+
+    def parse(self, sql) -> Query:
+        """SQL -> :class:`Query` through the bounded parse cache."""
+        if not isinstance(sql, str) or not sql.strip():
+            raise BadRequestError("'sql' must be a non-empty string")
+        with self._parse_lock:
+            cached = self._parse_cache.get(sql)
+            if cached is not None:
+                self._parse_cache.move_to_end(sql)
+                return cached
+        try:
+            query = parse_query(sql, self.database.join_graph, name="serve")
+        except Exception as error:
+            raise BadRequestError(f"cannot parse SQL: {error}") from error
+        with self._parse_lock:
+            self._parse_cache[sql] = query
+            while len(self._parse_cache) > self._parse_cache_size:
+                self._parse_cache.popitem(last=False)
+        return query
+
+    def _run_batch(
+        self, model: str | None, queries: list[Query]
+    ) -> tuple[list[float], int]:
+        """Batch execution hook (collector thread *and* direct path).
+
+        Resolves the model at call time — so promotions apply to queued
+        requests — and clamps estimates to >= 1 row like the injection
+        pass.  Raises whatever the estimator raises; per-request
+        fallback handling lives in :meth:`estimate_many`.
+        """
+        active = self.registry.get(model)
+        started = time.perf_counter()
+        values = active.estimator.estimate_batch(queries)
+        elapsed = time.perf_counter() - started
+        if len(values) != len(queries):
+            raise EstimationError(
+                f"{active.estimator_name}.estimate_batch returned "
+                f"{len(values)} estimates for {len(queries)} queries"
+            )
+        registry = obs_metrics.registry()
+        registry.histogram(
+            f"serve.inference_seconds.{active.estimator_name}"
+        ).observe(elapsed)
+        return [max(1.0, float(value)) for value in values], active.version
+
+    # -- endpoints ---------------------------------------------------------
+
+    def estimate_many(self, sqls: list, model: str | None = None) -> dict:
+        """Price ``sqls`` (the /estimate and /estimate_batch core).
+
+        With micro-batching the queries ride the collector thread and
+        may share an ``estimate_batch`` call with other clients'
+        requests; without it they run directly under the in-flight
+        semaphore.  Either way the request is wrapped in the service's
+        retry policy, and a final failure degrades to the
+        PostgreSQL-default fallback (flagged in the response) instead
+        of erroring — the serving analogue of campaign failure
+        isolation.
+        """
+        if not isinstance(sqls, list) or not sqls:
+            raise BadRequestError("'sql' must be a non-empty string or list")
+        queries = [self.parse(sql) for sql in sqls]
+        model_name = self.registry.get(model).name  # 404 before queueing
+        deadline = Deadline.after(self._request_timeout)
+        fallback_used = False
+        try:
+            values, version = call_with_retry(
+                lambda: self._submit(model_name, queries, deadline),
+                self._retry,
+                non_retryable=(EstimationError, AdmissionError),
+                deadline=deadline,
+                on_retry=lambda *_: obs_metrics.registry()
+                .counter("serve.request_retries")
+                .inc(),
+            )[0]
+        except AdmissionError:
+            raise
+        except Exception as error:
+            # Graceful degradation: stat-free fallback estimates, the
+            # request is answered (and flagged) rather than failed.
+            values = [
+                max(1.0, float(self._fallback.estimate(query)))
+                for query in queries
+            ]
+            version = self.registry.get(model_name).version
+            fallback_used = True
+            obs_metrics.registry().counter("serve.fallback_requests").inc()
+            error_text = f"{type(error).__name__}: {error}"
+        result = {
+            "model": model_name,
+            "version": version,
+            "estimates": values,
+            "batched": self.batching,
+            "fallback": fallback_used,
+        }
+        if fallback_used:
+            result["error"] = error_text
+        return result
+
+    def _submit(
+        self, model_name: str, queries: list[Query], deadline: Deadline
+    ) -> tuple[list[float], int]:
+        if self.batcher is not None:
+            timeout = deadline.tightest(30.0)
+            return self.batcher.submit(model_name, queries, timeout)
+        if not self._in_flight.acquire(blocking=False):
+            obs_metrics.registry().counter("serve.admission_rejected").inc()
+            raise AdmissionError(
+                f"too many requests in flight ({self._max_in_flight})"
+            )
+        try:
+            return self._run_batch(model_name, queries)
+        finally:
+            self._in_flight.release()
+
+    def sub_plans(self, sql: str, model: str | None = None) -> dict:
+        """Price the whole sub-plan space of ``sql`` (the /subplans core).
+
+        Runs the same failure-isolated batched path the benchmark's
+        injection step uses: one ``estimate_batch`` call over every
+        connected sub-plan on the fast path, per-sub-plan
+        retry/fallback when the estimator misbehaves or a per-request
+        deadline needs cooperative checking.
+        """
+        query = self.parse(sql)
+        active = self.registry.get(model)
+        outcome = resilient_sub_plan_estimates(
+            active.estimator,
+            query,
+            fallback=self._fallback,
+            retry=self._retry,
+            deadline=Deadline.after(self._request_timeout),
+        )
+        sub_plans = [
+            {"tables": sorted(subset), "estimate": estimate}
+            for subset, estimate in sorted(
+                outcome.cards.items(),
+                key=lambda item: (len(item[0]), sorted(item[0])),
+            )
+        ]
+        return {
+            "model": active.name,
+            "version": active.version,
+            "estimator": active.estimator_name,
+            "sub_plans": sub_plans,
+            "failed_sub_plans": len(outcome.failures),
+            "fallback_estimates": outcome.fallback_count,
+            "attempts": outcome.attempts,
+        }
+
+    def promote(
+        self,
+        name: str | None = None,
+        estimator_name: str | None = None,
+        path: str | None = None,
+    ) -> dict:
+        """Train or load an estimator offline, then hot-swap it in.
+
+        Exactly one of ``estimator_name`` (train via the configured
+        trainer) or ``path`` (load a file saved by
+        :func:`repro.estimators.persistence.save_estimator`) must be
+        given.  The expensive step runs outside the registry lock —
+        requests keep being served by the current version until the
+        atomic swap.  ``_promote_lock`` serialises concurrent
+        promotions so two trainings cannot interleave their swaps.
+        """
+        if (estimator_name is None) == (path is None):
+            raise BadRequestError(
+                "promote needs exactly one of 'estimator' or 'path'"
+            )
+        with self._promote_lock:
+            started = time.perf_counter()
+            if estimator_name is not None:
+                if self._trainer is None:
+                    raise BadRequestError(
+                        "this server has no trainer configured; "
+                        "promote from a saved model 'path' instead"
+                    )
+                try:
+                    estimator = self._trainer(estimator_name)
+                except KeyError:
+                    raise BadRequestError(
+                        f"unknown estimator {estimator_name!r}"
+                    ) from None
+                source = f"trained:{estimator_name}"
+            else:
+                from repro.estimators.persistence import (
+                    PersistenceError,
+                    load_estimator,
+                )
+
+                try:
+                    estimator = load_estimator(path, database=self.database)
+                except (OSError, PersistenceError) as error:
+                    raise BadRequestError(f"cannot load {path}: {error}") from error
+                source = f"loaded:{path}"
+            elapsed = time.perf_counter() - started
+            model = self.registry.promote(estimator, name=name, source=source)
+        return {
+            "promoted": model.describe(),
+            "prepare_seconds": elapsed,
+        }
+
+    # -- health ------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "run_id": self.run_id,
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "batching": self.batching,
+            "queue_depth": self.batcher.depth if self.batcher else 0,
+            "models": {
+                name: self.registry.get(name).version
+                for name in self.registry.names()
+            },
+        }

@@ -84,6 +84,18 @@ class TestParseDetails:
     def test_trailing_semicolon_optional(self):
         assert parse_query("SELECT COUNT(*) FROM t;").tables == frozenset({"t"})
 
+    def test_keyword_named_columns_parse(self):
+        # STATS has a real ``tags.Count`` column; after a ``.`` any
+        # word is a column name, keyword or not.
+        parsed = parse_query("SELECT COUNT(*) FROM tags WHERE tags.Count >= 5")
+        assert parsed.predicates[0].column == "Count"
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM t WHERE t.Between BETWEEN 1 AND 2 AND t.In IN (3, 4)"
+        )
+        assert {p.column for p in parsed.predicates} == {"Between", "In"}
+        joined = parse_query("SELECT COUNT(*) FROM a, b WHERE a.From = b.Count")
+        assert joined.join_edges[0].left_column in ("From", "Count")
+
 
 class TestParseErrors:
     @pytest.mark.parametrize(

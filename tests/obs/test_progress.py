@@ -1,6 +1,7 @@
 """Live progress: tracker, Prometheus text, snapshot writer, HTTP server."""
 
 import json
+import threading
 import urllib.error
 import urllib.request
 
@@ -8,6 +9,7 @@ import pytest
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
+from repro.obs.httpd import ServerStartError
 from repro.obs.progress import (
     MetricsServer,
     ProgressTracker,
@@ -171,7 +173,7 @@ def test_metrics_server_serves_metrics_and_progress():
     obs_progress.begin_campaign(total=3, estimator="PostgreSQL", workload="stats")
     tracker.record_result(_Run())
 
-    server = MetricsServer("127.0.0.1:0")
+    server = MetricsServer("127.0.0.1:0").start()
     try:
         host, port = server.address
         base = f"http://{host}:{port}"
@@ -224,7 +226,7 @@ def test_throughput_and_eta_never_raise_or_go_negative():
 
 
 def test_metrics_server_healthz_reports_run_id():
-    server = MetricsServer("127.0.0.1:0", run_id="run-42ab")
+    server = MetricsServer("127.0.0.1:0", run_id="run-42ab").start()
     try:
         host, port = server.address
         with urllib.request.urlopen(
@@ -235,3 +237,133 @@ def test_metrics_server_healthz_reports_run_id():
             assert payload == {"run_id": "run-42ab", "status": "ok"}
     finally:
         server.close()
+
+
+def test_metrics_server_routes_paths_with_query_strings():
+    """Regression: ``/healthz?probe=1`` used to 404 because routing
+    compared the raw request target instead of the path component."""
+    server = MetricsServer("127.0.0.1:0", run_id="probe-run").start()
+    try:
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        with urllib.request.urlopen(f"{base}/healthz?probe=1", timeout=5) as response:
+            assert response.status == 200
+            assert json.loads(response.read().decode())["run_id"] == "probe-run"
+        with urllib.request.urlopen(
+            f"{base}/metrics?format=prometheus", timeout=5
+        ) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+        with urllib.request.urlopen(f"{base}/progress?pretty=1", timeout=5) as response:
+            assert response.status == 200
+    finally:
+        server.close()
+
+
+def test_metrics_server_close_is_idempotent():
+    """Regression: a second ``close()`` used to raise/hang."""
+    server = MetricsServer("127.0.0.1:0").start()
+    assert server.close() is True
+    assert server.close() is True
+
+    # Bound but never started: close must not hang waiting for a
+    # serve_forever loop that never ran.
+    unstarted = MetricsServer("127.0.0.1:0")
+    assert unstarted.close() is True
+    assert unstarted.close() is True
+
+
+def test_metrics_server_bind_failure_leaks_no_thread():
+    """Regression: the constructor used to start the daemon thread
+    before binding, so an occupied port leaked a wedged thread."""
+    holder = MetricsServer("127.0.0.1:0").start()
+    try:
+        host, port = holder.address
+        before = {thread.ident for thread in threading.enumerate()}
+        with pytest.raises(ServerStartError, match="--metrics-addr"):
+            MetricsServer(f"{host}:{port}")
+        after = {thread.ident for thread in threading.enumerate()}
+        assert after == before
+    finally:
+        holder.close()
+
+
+def test_server_swallows_client_aborts_but_reports_others(capsys):
+    server = MetricsServer("127.0.0.1:0").start()
+    try:
+        raw = server._http._server
+        try:
+            raise BrokenPipeError("client went away")
+        except BrokenPipeError:
+            raw.handle_error(None, ("127.0.0.1", 1234))
+        assert capsys.readouterr().err == ""  # benign abort: silent
+        try:
+            raise RuntimeError("genuinely broken")
+        except RuntimeError:
+            raw.handle_error(None, ("127.0.0.1", 1234))
+        assert "RuntimeError" in capsys.readouterr().err  # still surfaced
+    finally:
+        server.close()
+
+
+def test_concurrent_scrapes_during_campaign_mutation():
+    """Satellite: hammer ``/metrics`` and ``/progress`` from threads
+    while a campaign mutates the tracker and metrics registry; every
+    response must be a 200 with coherent (untorn) content."""
+    tracker = obs_progress.activate()
+    obs_progress.begin_campaign(total=500, estimator="PostgreSQL", workload="stats")
+    server = MetricsServer("127.0.0.1:0").start()
+    errors: list[str] = []
+    stop = threading.Event()
+
+    def scrape(path, check):
+        host, port = server.address
+        url = f"http://{host}:{port}{path}"
+        while not stop.is_set():
+            try:
+                with urllib.request.urlopen(url, timeout=5) as response:
+                    if response.status != 200:
+                        errors.append(f"{path}: HTTP {response.status}")
+                        return
+                    check(response.read().decode())
+            except Exception as error:  # noqa: BLE001 - recorded for the assert
+                errors.append(f"{path}: {type(error).__name__}: {error}")
+                return
+
+    def check_progress(body):
+        payload = json.loads(body)  # torn JSON would raise
+        if not 0 <= payload["done"] <= payload["total"]:
+            errors.append(f"incoherent snapshot: {payload}")
+
+    def check_metrics(body):
+        if not body.endswith("\n"):
+            errors.append("truncated Prometheus body")
+        for line in body.splitlines():
+            if not line.startswith("#") and line:
+                name, _, value = line.rpartition(" ")
+                if not name:
+                    errors.append(f"malformed sample line: {line!r}")
+                else:
+                    float(value)  # must parse
+
+    scrapers = [
+        threading.Thread(target=scrape, args=("/progress", check_progress)),
+        threading.Thread(target=scrape, args=("/metrics", check_metrics)),
+        threading.Thread(target=scrape, args=("/metrics", check_metrics)),
+    ]
+    try:
+        for thread in scrapers:
+            thread.start()
+        registry = obs_metrics.registry()
+        for index in range(500):
+            tracker.record_claim(index, worker=index % 7)
+            tracker.record_result(_Run(failed=index % 11 == 0), index=index)
+            registry.counter("campaign.queries").inc()
+            registry.histogram("campaign.latency").observe(index / 500.0)
+    finally:
+        stop.set()
+        for thread in scrapers:
+            thread.join(timeout=10.0)
+        server.close()
+    assert errors == []
+    assert tracker.snapshot()["done"] == 500

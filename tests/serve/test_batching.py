@@ -1,0 +1,183 @@
+"""Micro-batcher: coalescing, admission control, failure propagation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batching import AdmissionError, BatcherClosedError, MicroBatcher
+
+
+def _echo_batch(model, queries):
+    """Deterministic stand-in for estimate_batch: value == query * 2."""
+    return [query * 2.0 for query in queries], 1
+
+
+def test_single_submit_round_trips():
+    batcher = MicroBatcher(_echo_batch, window_seconds=0.0).start()
+    try:
+        values, version = batcher.submit("default", [1.0, 2.0])
+        assert values == [2.0, 4.0]
+        assert version == 1
+    finally:
+        assert batcher.close() is True
+
+
+def test_concurrent_submits_coalesce_into_fewer_batches():
+    batch_sizes = []
+    release = threading.Event()
+
+    def slow_batch(model, queries):
+        # First batch blocks until every client has had time to queue;
+        # the stragglers must then ride ONE coalesced call.
+        batch_sizes.append(len(queries))
+        if len(batch_sizes) == 1:
+            release.wait(timeout=5.0)
+        return [float(query) for query in queries], 1
+
+    batcher = MicroBatcher(slow_batch, window_seconds=0.05).start()
+    results = {}
+
+    def client(index):
+        results[index] = batcher.submit("default", [index])
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+    threads[0].start()
+    time.sleep(0.15)  # let client 0 claim the in-flight batch
+    for thread in threads[1:]:
+        thread.start()
+    time.sleep(0.15)  # let clients 1..7 enqueue behind it
+    release.set()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    batcher.close()
+
+    assert len(results) == 8
+    for index, (values, _) in results.items():
+        assert values == [float(index)]
+    # 8 requests served by at most 3 estimator calls, with at least one
+    # genuinely coalesced multi-request batch.
+    assert len(batch_sizes) <= 3
+    assert max(batch_sizes) >= 2
+    assert sum(batch_sizes) == 8
+
+
+def test_window_respects_max_batch():
+    seen = []
+
+    def record(model, queries):
+        seen.append(len(queries))
+        return [0.0] * len(queries), 1
+
+    batcher = MicroBatcher(record, window_seconds=0.2, max_batch=3)
+    # Enqueue before starting the collector so the batch split is
+    # deterministic: 5 single-query jobs -> a 3-batch then a 2-batch.
+    jobs = []
+
+    def client():
+        jobs.append(batcher.submit("default", [1.0]))
+
+    threads = [threading.Thread(target=client) for _ in range(5)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.1)
+    batcher.start()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    batcher.close()
+    assert sorted(seen) == [2, 3]
+
+
+def test_queue_overflow_raises_admission_error():
+    release = threading.Event()
+    entered = threading.Event()
+
+    def stuck_batch(model, queries):
+        entered.set()
+        release.wait(timeout=5.0)
+        return [0.0] * len(queries), 1
+
+    batcher = MicroBatcher(stuck_batch, max_queue=2, window_seconds=0.0).start()
+
+    def wait_for_depth(depth):
+        deadline = time.monotonic() + 5.0
+        while batcher.depth != depth and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert batcher.depth == depth
+
+    try:
+        # One job occupies the collector; two more fill the queue.
+        threads = [threading.Thread(target=lambda: batcher.submit("default", [1.0]))]
+        threads[0].start()
+        assert entered.wait(timeout=5.0)  # collector holds job 1 in flight
+        for _ in range(2):
+            thread = threading.Thread(
+                target=lambda: batcher.submit("default", [1.0])
+            )
+            thread.start()
+            threads.append(thread)
+        wait_for_depth(2)
+        with pytest.raises(AdmissionError, match="queue full"):
+            batcher.submit("default", [9.0])
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+    finally:
+        release.set()
+        batcher.close()
+
+
+def test_estimator_failure_propagates_to_every_job_in_group():
+    def failing_batch(model, queries):
+        raise RuntimeError("model exploded")
+
+    batcher = MicroBatcher(failing_batch, window_seconds=0.0).start()
+    try:
+        with pytest.raises(RuntimeError, match="model exploded"):
+            batcher.submit("default", [1.0])
+    finally:
+        batcher.close()
+
+
+def test_wrong_length_result_is_an_error():
+    batcher = MicroBatcher(lambda m, q: ([0.0], 1), window_seconds=0.0).start()
+    try:
+        with pytest.raises(RuntimeError, match="returned 1 values"):
+            batcher.submit("default", [1.0, 2.0])
+    finally:
+        batcher.close()
+
+
+def test_jobs_grouped_per_model():
+    calls = []
+
+    def record(model, queries):
+        calls.append((model, len(queries)))
+        return [0.0] * len(queries), 1
+
+    batcher = MicroBatcher(record, window_seconds=0.2)
+    threads = [
+        threading.Thread(target=lambda m=model: batcher.submit(m, [1.0]))
+        for model in ("a", "a", "b")
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.1)
+    batcher.start()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    batcher.close()
+    assert sorted(calls) == [("a", 2), ("b", 1)]
+
+
+def test_close_is_idempotent_and_fails_pending_jobs():
+    batcher = MicroBatcher(_echo_batch, window_seconds=0.0)
+    # Never started: close is trivially clean, twice.
+    assert batcher.close() is True
+    assert batcher.close() is True
+
+    batcher = MicroBatcher(_echo_batch, window_seconds=0.0).start()
+    assert batcher.close() is True
+    assert batcher.close() is True
+    with pytest.raises(BatcherClosedError):
+        batcher.submit("default", [1.0])

@@ -1,0 +1,83 @@
+"""Model registry: named versions, atomic hot-swap, concurrent access."""
+
+import threading
+
+import pytest
+
+from repro.serve.registry import ModelRegistry, UnknownModelError
+
+
+class _Estimator:
+    def __init__(self, tag):
+        self.name = f"est-{tag}"
+        self.tag = tag
+
+
+def test_promote_and_get_default():
+    registry = ModelRegistry()
+    model = registry.promote(_Estimator("a"), source="trained:a")
+    assert (model.name, model.version) == ("default", 1)
+    active = registry.get()
+    assert active.estimator.tag == "a"
+    assert active.source == "trained:a"
+    assert registry.get("default").version == 1
+
+
+def test_versions_are_monotonic_per_name():
+    registry = ModelRegistry()
+    registry.promote(_Estimator("a"))
+    registry.promote(_Estimator("b"))
+    registry.promote(_Estimator("c"), name="shadow")
+    assert registry.get().version == 2
+    assert registry.get().estimator.tag == "b"
+    assert registry.get("shadow").version == 1
+    assert registry.names() == ["default", "shadow"]
+    assert len(registry) == 2
+
+
+def test_unknown_model_raises_with_available_names():
+    registry = ModelRegistry()
+    with pytest.raises(UnknownModelError, match="none"):
+        registry.get()
+    registry.promote(_Estimator("a"), name="only")
+    with pytest.raises(UnknownModelError, match="only"):
+        registry.get("nope")
+
+
+def test_describe_is_json_safe():
+    registry = ModelRegistry()
+    registry.promote(_Estimator("a"), source="loaded:/tmp/model.pkl")
+    view = registry.describe()
+    assert view["default"] == "default"
+    entry = view["models"]["default"]
+    assert entry["estimator"] == "est-a"
+    assert entry["version"] == 1
+    assert entry["source"] == "loaded:/tmp/model.pkl"
+    assert isinstance(entry["promoted_unix"], float)
+
+
+def test_concurrent_promotes_and_reads_stay_consistent():
+    """Readers must always observe a complete (estimator, version) pair."""
+    registry = ModelRegistry()
+    registry.promote(_Estimator(0))
+    stop = threading.Event()
+    torn: list[str] = []
+
+    def reader():
+        while not stop.is_set():
+            model = registry.get()
+            # Hot-swap atomicity: the version a reader observes must
+            # always belong to the estimator it got.
+            if model.estimator.tag != model.version - 1:
+                torn.append(f"tag={model.estimator.tag} version={model.version}")
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for tag in range(1, 60):
+        registry.promote(_Estimator(tag))
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    assert not torn
+    assert registry.get().version == 60

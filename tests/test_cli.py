@@ -18,8 +18,45 @@ class TestParser:
             "dashboard",
             "export-workload",
             "export-csv",
+            "serve",
         ):
             assert command in text
+
+    def test_serve_defaults_and_flags(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.database == "stats"
+        assert args.estimator == "LW-XGB"
+        assert args.serve_addr == "127.0.0.1:9570"
+        assert args.no_batching is False
+        assert args.batch_window_ms == pytest.approx(1.0)
+        assert args.max_queue == 256
+        assert args.max_retries == 0
+        assert args.request_timeout is None
+        assert args.max_seconds is None
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--database", "imdb",
+                "--estimator", "PostgreSQL",
+                "--serve-addr", "0.0.0.0:8080",
+                "--no-batching",
+                "--batch-window-ms", "2.5",
+                "--max-queue", "64",
+                "--max-retries", "2",
+                "--request-timeout", "1.5",
+                "--max-seconds", "30",
+            ]
+        )
+        assert args.database == "imdb"
+        assert args.no_batching is True
+        assert args.batch_window_ms == pytest.approx(2.5)
+        assert args.request_timeout == pytest.approx(1.5)
+        assert args.max_seconds == pytest.approx(30.0)
+
+    def test_serve_rejects_unknown_estimator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--estimator", "nope"])
 
     def test_bench_resilience_flags(self):
         args = build_parser().parse_args(
