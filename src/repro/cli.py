@@ -368,7 +368,19 @@ def cmd_serve(args) -> int:
     """Run the long-lived estimation-as-a-service HTTP process."""
     import uuid
 
-    from repro.serve import EstimationService, ModelRegistry, build_server
+    from repro.obs import events as obs_events
+    from repro.serve import (
+        AccessLog,
+        DriftConfig,
+        DriftMonitor,
+        EstimationService,
+        ModelRegistry,
+        ServeObservability,
+        SLOConfig,
+        SLOMonitor,
+        TraceSink,
+        build_server,
+    )
 
     config = dataclasses.replace(
         ExperimentConfig.named(args.mode), max_retries=max(0, args.max_retries)
@@ -383,6 +395,30 @@ def cmd_serve(args) -> int:
     estimator = context.fitted_estimator(args.estimator, workload_name)
     registry.promote(estimator, source=f"trained:{args.estimator}")
 
+    obs = ServeObservability()
+    obs_dir = None
+    if args.obs_dir:
+        obs_dir = Path(args.obs_dir)
+        obs_dir.mkdir(parents=True, exist_ok=True)
+        obs = ServeObservability(
+            trace_sink=TraceSink(obs_dir / "traces.jsonl"),
+            access_log=AccessLog(obs_dir / "access.jsonl"),
+            slo=SLOMonitor(
+                SLOConfig(
+                    target_p99_seconds=args.slo_p99_ms / 1000.0,
+                    error_budget=args.slo_error_budget,
+                )
+            ),
+            drift=DriftMonitor(
+                DriftConfig(
+                    window=args.drift_window, threshold=args.drift_threshold
+                ),
+                pairs_path=obs_dir / "drift_pairs.jsonl",
+            ),
+        )
+        if not obs_events.is_active():
+            obs_events.activate(obs_dir / "serve.events.jsonl")
+
     service = EstimationService(
         database,
         registry,
@@ -394,6 +430,8 @@ def cmd_serve(args) -> int:
         max_queue=args.max_queue,
         max_in_flight=args.max_in_flight,
         run_id=run_id,
+        obs=obs,
+        self_execute_every=args.self_execute_every,
     )
     try:
         server = build_server(service, args.serve_addr)
@@ -405,8 +443,13 @@ def cmd_serve(args) -> int:
     host, port = server.address
     mode = "micro-batched" if service.batching else "request-at-a-time"
     print(f"Serving estimates at http://{host}:{port} ({mode}, run {run_id})")
-    print("  POST /estimate | /estimate_batch | /subplans | /admin/promote")
+    print(
+        "  POST /estimate | /estimate_batch | /subplans | /feedback "
+        "| /admin/promote"
+    )
     print("  GET  /healthz | /metrics | /models")
+    if obs_dir is not None:
+        print(f"  observability artifacts: {obs_dir}/")
     try:
         service.shutdown_requested.wait(
             timeout=args.max_seconds if args.max_seconds else None
@@ -416,6 +459,8 @@ def cmd_serve(args) -> int:
     finally:
         server.close()
         service.close()
+        if obs_dir is not None and obs_events.is_active():
+            obs_events.deactivate()
     from repro.obs import metrics as obs_metrics
 
     counters = obs_metrics.snapshot()["counters"]
@@ -428,6 +473,13 @@ def cmd_serve(args) -> int:
         f"Shut down cleanly after {service.uptime_seconds():.1f}s "
         f"({served} requests served)"
     )
+    if obs_dir is not None:
+        traces = obs.trace_sink.spans_written if obs.trace_sink else 0
+        access = obs.access_log.count if obs.access_log else 0
+        print(
+            f"  wrote {traces} trace spans, {access} access-log lines "
+            f"to {obs_dir}/"
+        )
     return 0
 
 
@@ -463,6 +515,8 @@ def cmd_dashboard(args) -> int:
         ("events", args.events),
         ("manifest", args.manifest),
         ("blame", args.blame),
+        ("serve access log", args.serve_access),
+        ("serve drift pairs", args.serve_drift),
     ):
         if path is not None and not Path(path).exists():
             print(f"warning: {label} file {path} does not exist; skipping")
@@ -472,6 +526,8 @@ def cmd_dashboard(args) -> int:
         events_path=args.events,
         manifest_path=args.manifest,
         blame_path=args.blame,
+        serve_access_path=args.serve_access,
+        serve_drift_path=args.serve_drift,
         title=args.title,
     )
     print(f"Dashboard: {path}")
@@ -755,6 +811,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after this long (default: serve until SIGINT or "
         "POST /admin/shutdown)",
     )
+    serve.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        default=None,
+        help="enable full serving observability: per-request traces "
+        "(traces.jsonl), access log (access.jsonl), drift pairs "
+        "(drift_pairs.jsonl) and serve events (serve.events.jsonl) "
+        "under DIR, plus SLO burn rates and the drift monitor",
+    )
+    serve.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="latency SLO target: requests slower than this burn the "
+        "latency budget (default 250ms)",
+    )
+    serve.add_argument(
+        "--slo-error-budget",
+        type=float,
+        default=0.01,
+        metavar="FRACTION",
+        help="allowed fraction of 5xx responses (default 0.01)",
+    )
+    serve.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=4.0,
+        metavar="Q",
+        help="median windowed q-error above this raises a serve.drift "
+        "event (default 4.0)",
+    )
+    serve.add_argument(
+        "--drift-window",
+        type=int,
+        default=32,
+        metavar="N",
+        help="est-vs-actual pairs per (model, version, template) "
+        "drift window (default 32)",
+    )
+    serve.add_argument(
+        "--self-execute-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="execute every Nth served query against the local "
+        "database for drift ground truth (0 disables; needs --obs-dir)",
+    )
     serve.set_defaults(handler=cmd_serve)
 
     profile = commands.add_parser(
@@ -878,6 +982,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dashboard.add_argument(
         "--blame", metavar="FILE", default=None, help="blame report JSON"
+    )
+    dashboard.add_argument(
+        "--serve-access",
+        metavar="FILE",
+        default=None,
+        help="serve access log JSONL (repro serve --obs-dir)",
+    )
+    dashboard.add_argument(
+        "--serve-drift",
+        metavar="FILE",
+        default=None,
+        help="serve drift-pairs JSONL (repro serve --obs-dir)",
     )
     dashboard.add_argument(
         "--title", default="repro campaign dashboard", help="page title"

@@ -9,8 +9,12 @@ campaign artifacts exist:
 - the **event log** (campaign begin/end, retries, fallbacks, worker
   crashes — also the source of the campaign's intended query total, so
   partial progress renders as ``done / total``),
-- the **run manifest** (config + metrics snapshot), and
-- a **blame report** (per-sub-plan misestimation attribution).
+- the **run manifest** (config + metrics snapshot),
+- a **blame report** (per-sub-plan misestimation attribution), and
+- the **serving artifacts** — the access log and drift pairs a
+  ``repro serve --obs-dir`` process appends — rendered as a live
+  serve panel: per-route request/error/latency rollup plus windowed
+  est-vs-actual drift.
 
 Every input is optional: the dashboard of a campaign killed after its
 first query is just a shorter page, not an error.  Artifacts with a
@@ -21,6 +25,7 @@ incompatible.
 from __future__ import annotations
 
 import html
+import statistics
 import time
 from pathlib import Path
 
@@ -325,6 +330,82 @@ def _phases_section(manifest: dict) -> list[str]:
     return lines
 
 
+def _serve_section(access: list[dict], drift_pairs: list[dict]) -> list[str]:
+    """Live serve panel: per-route outcomes + accuracy-drift windows."""
+    lines: list[str] = ["<h2>Serving</h2>"]
+    if access:
+        routes: dict[str, dict] = {}
+        for record in access:
+            entry = routes.setdefault(
+                record.get("route", "?"),
+                {"count": 0, "errors": 0, "client_errors": 0, "latencies": []},
+            )
+            entry["count"] += 1
+            status = record.get("status", 0)
+            if status >= 500:
+                entry["errors"] += 1
+            elif status >= 400:
+                entry["client_errors"] += 1
+            entry["latencies"].append(float(record.get("latency_ms", 0.0)))
+        lines.append(
+            f"<p>{len(access)} requests in the access log.</p><table>"
+            "<tr><th>route</th><th>requests</th><th>4xx</th><th>5xx</th>"
+            "<th>p50 ms</th><th>p99 ms</th></tr>"
+        )
+        for route in sorted(routes):
+            entry = routes[route]
+            ordered = sorted(entry["latencies"])
+            p50 = ordered[len(ordered) // 2]
+            p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+            css = "bad" if entry["errors"] else "num"
+            lines.append(
+                "<tr>"
+                f"<td><code>{_esc(route)}</code></td>"
+                f'<td class="num">{entry["count"]}</td>'
+                f'<td class="num">{entry["client_errors"]}</td>'
+                f'<td class="{css}">{entry["errors"]}</td>'
+                f'<td class="num">{_fmt(p50, 3)}</td>'
+                f'<td class="num">{_fmt(p99, 3)}</td>'
+                "</tr>"
+            )
+        lines.append("</table>")
+    if drift_pairs:
+        windows: dict[tuple, dict] = {}
+        for pair in drift_pairs:
+            key = (
+                pair.get("model", "?"),
+                pair.get("version", 0),
+                tuple(pair.get("tables", [])),
+            )
+            entry = windows.setdefault(key, {"q_errors": [], "sources": set()})
+            entry["q_errors"].append(float(pair.get("q_error", 0.0)))
+            entry["sources"].add(pair.get("source", "?"))
+        lines.append(
+            f"<h3>Accuracy drift ({len(drift_pairs)} est-vs-actual pairs)</h3>"
+            "<table><tr><th>model</th><th>version</th><th>join template</th>"
+            "<th>pairs</th><th>median q-error</th><th>max q-error</th>"
+            "<th>sources</th></tr>"
+        )
+        for (model, version, tables), entry in sorted(windows.items()):
+            median_q = statistics.median(entry["q_errors"])
+            css = "bad" if median_q > 4.0 else "num"
+            lines.append(
+                "<tr>"
+                f"<td>{_esc(model)}</td>"
+                f'<td class="num">{_esc(version)}</td>'
+                f"<td>{_esc(' ⋈ '.join(tables) or 'single-table')}</td>"
+                f'<td class="num">{len(entry["q_errors"])}</td>'
+                f'<td class="{css}">{_fmt(median_q, 2)}</td>'
+                f'<td class="num">{_fmt(max(entry["q_errors"]), 2)}</td>'
+                f"<td>{_esc(', '.join(sorted(entry['sources'])))}</td>"
+                "</tr>"
+            )
+        lines.append("</table>")
+    if len(lines) == 1:
+        lines.append("<p>No serving traffic recorded yet.</p>")
+    return lines
+
+
 def _metrics_section(manifest: dict) -> list[str]:
     counters = manifest.get("metrics", {}).get("counters", {})
     if not counters:
@@ -351,6 +432,8 @@ def render_dashboard(
     events_path: str | Path | None = None,
     manifest_path: str | Path | None = None,
     blame_path: str | Path | None = None,
+    serve_access_path: str | Path | None = None,
+    serve_drift_path: str | Path | None = None,
     title: str = "repro campaign dashboard",
 ) -> str:
     """Render the dashboard HTML from whichever artifacts are given."""
@@ -373,12 +456,24 @@ def render_dashboard(
         if blame_path is not None and Path(blame_path).exists()
         else {}
     )
+    access_records: list[dict] = []
+    drift_pairs: list[dict] = []
+    if serve_access_path is not None:
+        from repro.serve.tracing import load_access_log
+
+        access_records = load_access_log(serve_access_path)
+    if serve_drift_path is not None:
+        from repro.serve.drift import load_drift_pairs
+
+        drift_pairs = load_drift_pairs(serve_drift_path)
 
     sources = [
         ("checkpoint", checkpoint_path),
         ("events", events_path),
         ("manifest", manifest_path),
         ("blame", blame_path),
+        ("serve access", serve_access_path),
+        ("serve drift", serve_drift_path),
     ]
     source_line = ", ".join(
         f"{label}: <code>{_esc(path)}</code>"
@@ -394,6 +489,8 @@ def render_dashboard(
     body.extend(_runs_section(runs))
     if blame_payload:
         body.extend(_blame_section(blame_payload))
+    if access_records or drift_pairs:
+        body.extend(_serve_section(access_records, drift_pairs))
     body.extend(_events_section(events))
     if manifest:
         body.extend(_phases_section(manifest))
@@ -416,6 +513,8 @@ def write_dashboard(
     events_path: str | Path | None = None,
     manifest_path: str | Path | None = None,
     blame_path: str | Path | None = None,
+    serve_access_path: str | Path | None = None,
+    serve_drift_path: str | Path | None = None,
     title: str = "repro campaign dashboard",
 ) -> Path:
     """Render and write the dashboard; returns the output path."""
@@ -427,6 +526,8 @@ def write_dashboard(
             events_path=events_path,
             manifest_path=manifest_path,
             blame_path=blame_path,
+            serve_access_path=serve_access_path,
+            serve_drift_path=serve_drift_path,
             title=title,
         )
     )

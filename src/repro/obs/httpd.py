@@ -25,13 +25,32 @@ depends on that to measure serving, not TCP setup.
 from __future__ import annotations
 
 import json
+import re
 import sys
 import threading
+import uuid
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+REQUEST_ID_HEADER = "X-Request-ID"
+
+#: Characters allowed in a client-supplied request id (anything else is
+#: stripped before the id is echoed into headers, logs and traces).
+_REQUEST_ID_SAFE = re.compile(r"[^A-Za-z0-9._\-]")
+
+
+def sanitize_request_id(supplied: str | None) -> str:
+    """A client-supplied ``X-Request-ID`` value, made safe to echo.
+
+    Strips anything outside ``[A-Za-z0-9._-]`` and caps the length; an
+    empty or all-junk value mints a fresh id instead, so every response
+    carries a usable correlation id either way.
+    """
+    cleaned = _REQUEST_ID_SAFE.sub("", supplied or "")[:64]
+    return cleaned or uuid.uuid4().hex[:16]
 
 #: Exceptions raised when the *client* goes away mid-request; routine
 #: under load, never worth a traceback.
@@ -81,6 +100,10 @@ class Request:
     path: str
     params: dict[str, list[str]] = field(default_factory=dict)
     body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+    #: Adopted from the client's ``X-Request-ID`` header (sanitized) or
+    #: minted by the server; echoed on every response, success or error.
+    request_id: str = ""
 
     def json(self) -> dict:
         """The request body as a JSON object; HTTP 400 on anything else."""
@@ -102,6 +125,7 @@ class Response:
     status: int = 200
     body: bytes | str | dict = b""
     content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
 
     def encoded(self) -> bytes:
         if isinstance(self.body, bytes):
@@ -145,38 +169,62 @@ class _Handler(BaseHTTPRequestHandler):
         routes = self.server.router.routes
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length > 0 else b""
+        # The request id exists before routing, so even 404/405/500
+        # responses carry it and clients can correlate failures with
+        # server-side traces and access-log lines.
+        request_id = sanitize_request_id(self.headers.get(REQUEST_ID_HEADER))
         route = routes.get((method, path))
         if route is None:
             known = sorted({m for m, p in routes if p == path})
             if known:
-                self._respond(
-                    json_response(
-                        {"error": f"{path} only supports {', '.join(known)}"},
-                        status=405,
-                    )
+                response = json_response(
+                    {
+                        "error": f"{path} only supports {', '.join(known)}",
+                        "request_id": request_id,
+                    },
+                    status=405,
                 )
             else:
-                self._respond(json_response({"error": f"no route {path}"}, 404))
+                response = json_response(
+                    {"error": f"no route {path}", "request_id": request_id}, 404
+                )
+            self._respond(response, request_id)
             return
         request = Request(
-            method=method, path=path, params=parse_qs(parts.query), body=body
+            method=method,
+            path=path,
+            params=parse_qs(parts.query),
+            body=body,
+            headers={key: value for key, value in self.headers.items()},
+            request_id=request_id,
         )
         try:
             response = route(request)
         except HTTPError as error:
-            response = json_response({"error": str(error)}, status=error.status)
+            response = json_response(
+                {"error": str(error), "request_id": request_id},
+                status=error.status,
+            )
         except Exception as error:  # route bug: structured 500, keep serving
             response = json_response(
-                {"error": f"{type(error).__name__}: {error}"}, status=500
+                {
+                    "error": f"{type(error).__name__}: {error}",
+                    "request_id": request_id,
+                },
+                status=500,
             )
-        self._respond(response)
+        self._respond(response, request_id)
 
-    def _respond(self, response: Response) -> None:
+    def _respond(self, response: Response, request_id: str = "") -> None:
         try:
             body = response.encoded()
             self.send_response(response.status)
             self.send_header("Content-Type", response.content_type)
             self.send_header("Content-Length", str(len(body)))
+            if request_id and REQUEST_ID_HEADER not in response.headers:
+                self.send_header(REQUEST_ID_HEADER, request_id)
+            for name, value in response.headers.items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
         except CLIENT_ABORT_ERRORS:

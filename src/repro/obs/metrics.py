@@ -28,11 +28,21 @@ JSON-serializable view used by ``run_manifest.json``.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 #: Histograms keep at most this many raw observations for percentile
 #: estimates; count/sum/min/max stay exact beyond it.
 _HISTOGRAM_SAMPLE_CAP = 8192
+
+#: Log-spaced (factor-2) bucket upper bounds shared by every histogram:
+#: ~1µs through ~16k, covering both latency-seconds and batch-size
+#: observations.  Unlike the raw-sample reservoir, bucket counts admit
+#: EVERY observation, so late-run distribution shifts stay visible in
+#: percentiles long after the reservoir has filled.
+HISTOGRAM_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    2.0**exponent for exponent in range(-20, 15)
+)
 
 
 @dataclass
@@ -57,13 +67,28 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Distribution summary with a bounded raw-sample reservoir."""
+    """Distribution summary: bounded raw-sample reservoir + log buckets.
+
+    The reservoir gives exact percentiles for short runs but stops
+    admitting new samples at the cap, so a long-lived process (the
+    serving path) would freeze its percentiles on the first
+    ``_HISTOGRAM_SAMPLE_CAP`` observations.  The factor-2 log buckets
+    count every observation forever; once the reservoir is saturated,
+    :meth:`percentile` switches to the bucket counts, so late-run
+    latency shifts move p95/p99 (within one bucket boundary).
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
     samples: list[float] = field(default_factory=list)
+    #: One count per bound in :data:`HISTOGRAM_BUCKET_BOUNDS` plus a
+    #: final overflow bucket; ``bucket_counts[i]`` counts observations
+    #: with ``value <= bounds[i]`` (non-cumulative storage).
+    bucket_counts: list[int] = field(
+        default_factory=lambda: [0] * (len(HISTOGRAM_BUCKET_BOUNDS) + 1)
+    )
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -75,18 +100,62 @@ class Histogram:
             self.maximum = value
         if len(self.samples) < _HISTOGRAM_SAMPLE_CAP:
             self.samples.append(value)
+        self.bucket_counts[bisect_left(HISTOGRAM_BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile over the retained samples."""
-        if not self.samples:
+        """Nearest-rank percentile.
+
+        Exact over the raw reservoir while it holds every observation;
+        once observations outnumber retained samples (reservoir
+        saturated, or a lossy merge), the estimate comes from the log
+        buckets instead — at worst one bucket boundary off, but never
+        blind to a post-saturation distribution shift.
+        """
+        if not self.samples and not any(self.bucket_counts):
             return 0.0
-        ordered = sorted(self.samples)
-        rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        if self.count <= len(self.samples):
+            ordered = sorted(self.samples)
+            rank = min(
+                len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1)))
+            )
+            return ordered[rank]
+        return self._bucket_percentile(q)
+
+    def _bucket_percentile(self, q: float) -> float:
+        """Percentile from the bucket counts (upper-bound estimate)."""
+        bucketed = sum(self.bucket_counts)
+        if not bucketed:
+            return 0.0
+        rank = min(bucketed - 1, max(0, round(q / 100.0 * (bucketed - 1))))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative > rank:
+                if index < len(HISTOGRAM_BUCKET_BOUNDS):
+                    return min(HISTOGRAM_BUCKET_BOUNDS[index], self.maximum)
+                return self.maximum  # overflow bucket
+        return self.maximum
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs.
+
+        Only boundaries whose cumulative count changed are included
+        (plus the final ``+Inf`` bucket), so exports stay compact.
+        """
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(
+            HISTOGRAM_BUCKET_BOUNDS, self.bucket_counts
+        ):
+            cumulative += bucket_count
+            if bucket_count:
+                pairs.append((bound, cumulative))
+        pairs.append((float("inf"), cumulative + self.bucket_counts[-1]))
+        return pairs
 
     def summary(self) -> dict:
         if not self.count:
@@ -129,6 +198,10 @@ class MetricsRegistry:
             metric = self._histograms[name] = Histogram()
         return metric
 
+    def histograms(self) -> dict[str, Histogram]:
+        """Live histogram objects by name (for bucket-level exporters)."""
+        return dict(self._histograms)
+
     def snapshot(self) -> dict:
         """JSON-serializable view of every metric, sorted by name."""
         return {
@@ -163,6 +236,7 @@ class MetricsRegistry:
                     "minimum": self._histograms[name].minimum,
                     "maximum": self._histograms[name].maximum,
                     "samples": list(self._histograms[name].samples),
+                    "bucket_counts": list(self._histograms[name].bucket_counts),
                 }
                 for name in sorted(self._histograms)
             },
@@ -188,6 +262,17 @@ class MetricsRegistry:
             room = _HISTOGRAM_SAMPLE_CAP - len(histogram.samples)
             if room > 0:
                 histogram.samples.extend(payload["samples"][:room])
+            bucket_counts = payload.get("bucket_counts")
+            if bucket_counts is None:
+                # Pre-bucket dump: rebucket its samples, the best
+                # available stand-in for the counts it never kept.
+                for value in payload["samples"]:
+                    histogram.bucket_counts[
+                        bisect_left(HISTOGRAM_BUCKET_BOUNDS, value)
+                    ] += 1
+            else:
+                for index, bucket_count in enumerate(bucket_counts):
+                    histogram.bucket_counts[index] += bucket_count
 
     def reset(self) -> None:
         self._counters.clear()

@@ -19,6 +19,7 @@ scheduler noise the way the benchmark's own repetition loop does):
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 from typing import Callable
@@ -266,4 +267,74 @@ def measure_sampler_overhead(
         "baseline_seconds": baseline,
         "sampled_seconds": sampled,
         "overhead_sampler": sampled / baseline - 1.0,
+    }
+
+
+def measure_serve_overhead(
+    baseline_address: tuple[str, int],
+    instrumented_address: tuple[str, int],
+    payloads: list[dict],
+    path: str = "/estimate",
+    rounds: int = 30,
+    requests_per_round: int = 8,
+    warmup: int = 5,
+    timeout: float = 30.0,
+) -> dict:
+    """Per-request serving cost with full request observability on vs off.
+
+    Two identical serving stacks answer the same payload cycle over
+    persistent HTTP connections; the instrumented one additionally
+    writes per-request traces, access-log lines and SLO accounting.
+    Rounds are *interleaved* (one baseline round, one instrumented
+    round, repeated) and each stack keeps its best round's mean
+    request latency, for the same drift-suppression reasons as
+    :func:`measure_live_overhead`.  ``overhead_serve`` is the number
+    the < 2% budget in ``BENCH_serve_obs.json`` applies to.
+    """
+    import http.client
+
+    def connect(address: tuple[str, int]) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(address[0], address[1], timeout=timeout)
+
+    def run_round(connection: http.client.HTTPConnection, offset: int) -> float:
+        started = time.perf_counter()
+        for index in range(requests_per_round):
+            payload = payloads[(offset + index) % len(payloads)]
+            connection.request(
+                "POST",
+                path,
+                body=json.dumps(payload),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            response.read()
+            if response.status != 200:
+                raise RuntimeError(
+                    f"serve overhead round got HTTP {response.status}"
+                )
+        return (time.perf_counter() - started) / requests_per_round
+
+    base_conn = connect(baseline_address)
+    inst_conn = connect(instrumented_address)
+    try:
+        for index in range(warmup):
+            run_round(base_conn, index)
+            run_round(inst_conn, index)
+        baseline = float("inf")
+        instrumented = float("inf")
+        for round_index in range(rounds):
+            offset = round_index * requests_per_round
+            baseline = min(baseline, run_round(base_conn, offset))
+            instrumented = min(instrumented, run_round(inst_conn, offset))
+    finally:
+        base_conn.close()
+        inst_conn.close()
+
+    return {
+        "rounds": rounds,
+        "requests_per_round": requests_per_round,
+        "payloads": len(payloads),
+        "baseline_seconds_per_request": baseline,
+        "instrumented_seconds_per_request": instrumented,
+        "overhead_serve": instrumented / baseline - 1.0,
     }

@@ -260,6 +260,7 @@ def prometheus_text(
         full = _prom_name(name)
         lines.append(f"# TYPE {full} gauge")
         lines.append(f"{full} {_prom_value(snapshot['gauges'][name])}")
+    histograms = registry.histograms()
     for name in sorted(snapshot["histograms"]):
         summary = snapshot["histograms"][name]
         full = _prom_name(name)
@@ -270,6 +271,15 @@ def prometheus_text(
                 lines.append(f'{full}{{quantile="{quantile}"}} {value}')
         lines.append(f"{full}_count {_prom_value(summary.get('count', 0))}")
         lines.append(f"{full}_sum {_prom_value(summary.get('sum', 0.0))}")
+        # SLO-grade log-bucketed series alongside the percentile
+        # snapshot: cumulative counts per upper bound, `le`-labelled
+        # like a native Prometheus histogram, so alerting rules can
+        # compute exact-window quantiles no reservoir can freeze.
+        histogram = histograms.get(name)
+        if histogram is not None:
+            for bound, cumulative in histogram.cumulative_buckets():
+                le = "+Inf" if bound == float("inf") else _prom_value(bound)
+                lines.append(f'{full}_bucket{{le="{le}"}} {cumulative}')
     return "\n".join(lines) + "\n"
 
 

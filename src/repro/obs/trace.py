@@ -121,6 +121,27 @@ class Tracer:
             self._stack.pop()
             self.spans.append(span)
 
+    def record(self, name: str, duration_seconds: float = 0.0, /, **attributes) -> Span:
+        """Append an already-measured span under the current parent.
+
+        For work that finished before a tracer could wrap it (e.g. the
+        micro-batcher's assembly window, which elapses before the batch
+        group is known): the span is backdated so its start lines up
+        with when the measured work began.
+        """
+        self._next_id += 1
+        span = Span(
+            name=name,
+            span_id=f"{self.trace_id}.{self._next_id}",
+            trace_id=self.trace_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            started_unix=time.time() - duration_seconds,
+            attributes=dict(attributes),
+            duration_seconds=duration_seconds,
+        )
+        self.spans.append(span)
+        return span
+
     def to_dicts(self) -> list[dict]:
         """Finished spans in start order (parents precede children)."""
         return [span.to_dict() for span in sorted(self.spans, key=_span_sort_key)]
@@ -192,12 +213,21 @@ def span(name: str, /, **attributes):
 
 
 def load_trace(path: str | Path) -> list[dict]:
-    """Read a JSONL trace file back into span dicts."""
+    """Read a JSONL trace file back into span dicts.
+
+    Tolerates a torn final line — the signature of a killed writer on
+    an append-only trace file (the serving path's exporter) — the same
+    way :func:`repro.obs.events.load_events` does.
+    """
     spans = []
     for line in Path(path).read_text().splitlines():
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        try:
             spans.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn tail from a killed process
     return spans
 
 

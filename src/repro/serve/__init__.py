@@ -18,25 +18,49 @@ long-lived process answering estimation requests over HTTP:
   ``/metrics`` and ``/healthz``) on the shared
   :mod:`repro.obs.httpd` machinery;
 - :mod:`repro.serve.loadgen` — the closed-loop load generator behind
-  ``benchmarks/bench_serve.py`` (QPS, p50/p99 at 1/8/64 clients).
+  ``benchmarks/bench_serve.py`` (QPS, p50/p99 at 1/8/64 clients);
+- :mod:`repro.serve.tracing` — request-scoped (thread-local) tracing,
+  the append-only span sink and the structured access log;
+- :mod:`repro.serve.slo` — sliding-window burn-rate SLO accounting;
+- :mod:`repro.serve.drift` — windowed est-vs-actual q-error
+  monitoring fed by ``POST /feedback`` or self-execution sampling.
 """
 
 from repro.serve.app import build_server
 from repro.serve.batching import AdmissionError, MicroBatcher
-from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.drift import DriftConfig, DriftMonitor, load_drift_pairs
+from repro.serve.loadgen import LoadReport, RequestSample, run_load
 from repro.serve.registry import ModelRegistry, ModelVersion, UnknownModelError
-from repro.serve.service import BadRequestError, EstimationService, ServiceError
+from repro.serve.service import (
+    BadRequestError,
+    EstimationService,
+    ServeObservability,
+    ServiceError,
+)
+from repro.serve.slo import SLOConfig, SLOMonitor
+from repro.serve.tracing import AccessLog, TraceLink, TraceSink, load_access_log
 
 __all__ = [
+    "AccessLog",
     "AdmissionError",
     "BadRequestError",
+    "DriftConfig",
+    "DriftMonitor",
     "EstimationService",
     "LoadReport",
     "MicroBatcher",
     "ModelRegistry",
     "ModelVersion",
+    "RequestSample",
+    "SLOConfig",
+    "SLOMonitor",
+    "ServeObservability",
     "ServiceError",
+    "TraceLink",
+    "TraceSink",
     "UnknownModelError",
     "build_server",
+    "load_access_log",
+    "load_drift_pairs",
     "run_load",
 ]

@@ -15,6 +15,16 @@ the next requests pile up, so batches form naturally.  At low
 concurrency the window *is* the cost of micro-batching — up to
 ``window_seconds`` of added latency per request — which is exactly the
 trade-off ``benchmarks/bench_serve.py`` measures at 1/8/64 clients.
+
+When a :class:`~repro.serve.tracing.TraceSink` is attached, each
+drained group gets its own trace: a ``batch`` span whose ``links``
+attribute names the ``queue_wait`` span of every member request, plus
+a backdated ``batch_assembly`` span for the collection window and the
+service's ``inference`` span nested under it (the collector installs
+the batch tracer thread-locally around ``run_batch``).  The member
+requests' :class:`~repro.serve.tracing.TraceLink` handles are filled
+with the batch span id before their events fire, so each request trace
+can point back at the batch that served it.
 """
 
 from __future__ import annotations
@@ -24,6 +34,8 @@ import threading
 import time
 
 from repro.obs import metrics as obs_metrics
+from repro.obs.trace import Tracer
+from repro.serve.tracing import TraceLink, TraceSink, use_tracer
 
 
 class AdmissionError(RuntimeError):
@@ -37,15 +49,18 @@ class BatcherClosedError(RuntimeError):
 class _Job:
     """One submitted request: queries in, values (or an error) out."""
 
-    __slots__ = ("model", "queries", "event", "values", "error", "version")
+    __slots__ = ("model", "queries", "event", "values", "error", "version", "link")
 
-    def __init__(self, model: str | None, queries: list):
+    def __init__(
+        self, model: str | None, queries: list, link: TraceLink | None = None
+    ):
         self.model = model
         self.queries = queries
         self.event = threading.Event()
         self.values: list[float] | None = None
         self.error: BaseException | None = None
         self.version: int | None = None
+        self.link = link
 
     def resolve(self, values: list[float], version: int | None) -> None:
         self.values = values
@@ -71,8 +86,10 @@ class MicroBatcher:
         max_queue: int = 256,
         window_seconds: float = 0.001,
         max_batch: int = 1024,
+        trace_sink: TraceSink | None = None,
     ):
         self._run_batch = run_batch
+        self._trace_sink = trace_sink
         self.window_seconds = window_seconds
         self.max_batch = max_batch
         self.max_queue = max_queue
@@ -96,16 +113,19 @@ class MicroBatcher:
         model: str | None,
         queries: list,
         timeout_seconds: float | None = 30.0,
+        link: TraceLink | None = None,
     ) -> tuple[list[float], int | None]:
         """Enqueue ``queries`` and wait for the batched result.
 
         Raises :class:`AdmissionError` when the queue is full (callers
         map it to 429), :class:`BatcherClosedError` on shutdown, and
         re-raises whatever the estimator raised for this job's group.
+        A ``link`` rides along to the collector, which fills in the
+        batch span id that served this job before the event fires.
         """
         if self._closed:
             raise BatcherClosedError("estimation service is shutting down")
-        job = _Job(model, list(queries))
+        job = _Job(model, list(queries), link=link)
         try:
             self._queue.put_nowait(job)
         except queue.Full:
@@ -134,6 +154,7 @@ class MicroBatcher:
             if first is None:  # shutdown sentinel
                 self._drain_on_close()
                 return
+            assembly_started = time.perf_counter()
             jobs = [first]
             size = len(first.queries)
             deadline = time.monotonic() + self.window_seconds
@@ -148,22 +169,45 @@ class MicroBatcher:
                 except queue.Empty:
                     break
                 if job is None:
-                    self._execute(jobs)
+                    self._execute(jobs, time.perf_counter() - assembly_started)
                     self._drain_on_close()
                     return
                 jobs.append(job)
                 size += len(job.queries)
-            self._execute(jobs)
+            self._execute(jobs, time.perf_counter() - assembly_started)
 
-    def _execute(self, jobs: list[_Job]) -> None:
+    def _execute(self, jobs: list[_Job], assembly_seconds: float = 0.0) -> None:
         registry = obs_metrics.registry()
         groups: dict[str | None, list[_Job]] = {}
         for job in jobs:
             groups.setdefault(job.model, []).append(job)
         for model, group in groups.items():
             queries = [query for job in group for query in job.queries]
+            tracer = batch_span = None
+            if self._trace_sink is not None and any(
+                job.link is not None for job in group
+            ):
+                tracer = Tracer()
             try:
-                values, version = self._run_batch(model, queries)
+                if tracer is not None:
+                    # The batch tracer becomes THIS thread's tracer so the
+                    # service's inference span nests under the batch span.
+                    with use_tracer(tracer), tracer.span(
+                        "batch",
+                        model=model or "",
+                        jobs=len(group),
+                        batch_size=len(queries),
+                        links=[
+                            job.link.span_id
+                            for job in group
+                            if job.link is not None
+                        ],
+                    ) as batch_span:
+                        tracer.record("batch_assembly", assembly_seconds)
+                        values, version = self._run_batch(model, queries)
+                        batch_span.set(version=version)
+                else:
+                    values, version = self._run_batch(model, queries)
                 if len(values) != len(queries):
                     raise RuntimeError(
                         f"batch returned {len(values)} values "
@@ -172,9 +216,18 @@ class MicroBatcher:
             except BaseException as error:  # noqa: BLE001 — handed to waiters
                 for job in group:
                     job.fail(error)
+                if tracer is not None:
+                    self._trace_sink.write_spans(tracer.spans)
                 continue
             registry.histogram("serve.batch_size").observe(float(len(queries)))
             registry.counter("serve.batches").inc()
+            if batch_span is not None:
+                # Links must be complete before any waiter's event fires.
+                for job in group:
+                    if job.link is not None:
+                        job.link.batch_span_id = batch_span.span_id
+                        job.link.version = version
+                self._trace_sink.write_spans(tracer.spans)
             offset = 0
             for job in group:
                 job.resolve(values[offset : offset + len(job.queries)], version)

@@ -3,8 +3,12 @@
 Each client is a thread with one persistent HTTP/1.1 connection (so
 the benchmark measures serving, not TCP setup), issuing its requests
 back-to-back and recording per-request latency.  All clients start on
-a barrier; the report aggregates QPS over the loaded interval and
-p50/p95/p99 latency over every request.
+a barrier; the report aggregates QPS over the loaded interval, a
+per-status-code breakdown, and p50/p95/p99 latency over every request.
+Per-request :class:`RequestSample` records (status, latency and the
+server's ``X-Request-ID`` echo) are kept too, so a load run doubles as
+ground truth for the serving path's trace/access-log exports: every
+sampled request id can be resolved against the exported artifacts.
 
 This is the harness behind ``benchmarks/bench_serve.py`` — the
 production-shaped metric (QPS, tail latency at 1/8/64 clients) every
@@ -21,6 +25,22 @@ import time
 from dataclasses import dataclass, field
 
 
+@dataclass(frozen=True)
+class RequestSample:
+    """One request as the client saw it (trace-resolution ground truth)."""
+
+    status: int
+    latency_seconds: float
+    request_id: str
+
+    def as_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "latency_ms": round(self.latency_seconds * 1000.0, 4),
+            "request_id": self.request_id,
+        }
+
+
 @dataclass
 class LoadReport:
     """Aggregated result of one load run."""
@@ -35,6 +55,7 @@ class LoadReport:
     p99_ms: float
     status_counts: dict[int, int] = field(default_factory=dict)
     errors: list[str] = field(default_factory=list)
+    samples: list[RequestSample] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -51,6 +72,7 @@ class LoadReport:
                 for status, count in sorted(self.status_counts.items())
             },
             "errors": self.errors[:5],
+            "samples": [sample.as_dict() for sample in self.samples],
         }
 
 
@@ -74,6 +96,7 @@ class _Client(threading.Thread):
         self.latencies: list[float] = []
         self.statuses: list[int] = []
         self.errors: list[str] = []
+        self.samples: list[RequestSample] = []
 
     def run(self) -> None:
         host, port = self.address
@@ -83,6 +106,7 @@ class _Client(threading.Thread):
             for index in range(self.requests):
                 payload = self.payloads[(self.offset + index) % len(self.payloads)]
                 body = json.dumps(payload)
+                request_id = ""
                 started = time.perf_counter()
                 try:
                     connection.request(
@@ -93,15 +117,19 @@ class _Client(threading.Thread):
                     )
                     response = connection.getresponse()
                     response.read()  # drain so the connection can be reused
-                    self.statuses.append(response.status)
+                    request_id = response.getheader("X-Request-ID") or ""
+                    status = response.status
                 except Exception as error:
                     self.errors.append(f"{type(error).__name__}: {error}")
-                    self.statuses.append(-1)
+                    status = -1
                     connection.close()
                     connection = http.client.HTTPConnection(
                         host, port, timeout=self.timeout
                     )
-                self.latencies.append(time.perf_counter() - started)
+                latency = time.perf_counter() - started
+                self.statuses.append(status)
+                self.latencies.append(latency)
+                self.samples.append(RequestSample(status, latency, request_id))
         finally:
             connection.close()
 
@@ -156,4 +184,5 @@ def run_load(
         p99_ms=_percentile(latencies, 0.99) * 1000.0,
         status_counts=status_counts,
         errors=[error for worker in workers for error in worker.errors],
+        samples=[sample for worker in workers for sample in worker.samples],
     )

@@ -83,6 +83,7 @@ class ModelRegistry:
             )
             self._active[name] = model
         obs_metrics.registry().counter("serve.promotions").inc()
+        obs_metrics.registry().gauge(f"serve.model_version.{name}").set(version)
         return model
 
     def get(self, name: str | None = None) -> ModelVersion:

@@ -24,9 +24,11 @@ deployment prices a planner's whole sub-plan space in one call.
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
 from collections import OrderedDict
+from dataclasses import dataclass
 
 from repro.engine.database import Database
 from repro.engine.query import Query
@@ -36,8 +38,17 @@ from repro.obs import metrics as obs_metrics
 from repro.resilience.fallback import PostgresDefaultFallback
 from repro.resilience.inference import resilient_sub_plan_estimates
 from repro.resilience.policy import Deadline, RetryPolicy, call_with_retry
+from repro.serve import tracing as request_tracing
 from repro.serve.batching import AdmissionError, MicroBatcher
+from repro.serve.drift import DriftMonitor
 from repro.serve.registry import ModelRegistry
+from repro.serve.slo import SLOMonitor
+from repro.serve.tracing import AccessLog, TraceLink, TraceSink
+
+#: How many recently served requests keep their estimates around so a
+#: later ``POST /feedback`` can resolve a ``request_id`` to the exact
+#: (model, version, per-query estimate) that answered it.
+_RECENT_REQUEST_CAP = 4096
 
 
 class ServiceError(RuntimeError):
@@ -46,6 +57,38 @@ class ServiceError(RuntimeError):
 
 class BadRequestError(ServiceError):
     """Malformed request content (unparseable SQL, wrong field types)."""
+
+
+@dataclass
+class ServeObservability:
+    """The serving path's observability bundle (all parts optional).
+
+    One instance is wired through :class:`EstimationService` into the
+    app layer and the micro-batcher: the trace sink collects per-request
+    and per-batch spans, the access log records one line per served
+    request, the SLO monitor turns outcomes into burn rates, and the
+    drift monitor folds est-vs-actual feedback into windowed q-errors.
+    """
+
+    trace_sink: TraceSink | None = None
+    access_log: AccessLog | None = None
+    slo: SLOMonitor | None = None
+    drift: DriftMonitor | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            part is not None
+            for part in (self.trace_sink, self.access_log, self.slo, self.drift)
+        )
+
+    def close(self) -> None:
+        if self.trace_sink is not None:
+            self.trace_sink.close()
+        if self.access_log is not None:
+            self.access_log.close()
+        if self.drift is not None:
+            self.drift.close()
 
 
 class EstimationService:
@@ -66,10 +109,13 @@ class EstimationService:
         max_in_flight: int = 256,
         parse_cache_size: int = 2048,
         run_id: str = "",
+        obs: ServeObservability | None = None,
+        self_execute_every: int = 0,
     ):
         self.database = database
         self.registry = registry if registry is not None else ModelRegistry()
         self.run_id = run_id
+        self.obs = obs if obs is not None else ServeObservability()
         self._trainer = trainer
         self._fallback = (
             fallback if fallback is not None else PostgresDefaultFallback(database)
@@ -90,21 +136,47 @@ class EstimationService:
                 max_queue=max_queue,
                 window_seconds=batch_window_seconds,
                 max_batch=max_batch,
+                trace_sink=self.obs.trace_sink,
             )
             if batching
             else None
         )
+        # Recently served requests, for /feedback request_id resolution.
+        self._recent: OrderedDict[str, dict] = OrderedDict()
+        self._recent_lock = threading.Lock()
+        # Optional self-execution sampler: every Nth served query is
+        # executed for ground truth on a background thread.
+        self._self_execute_every = max(0, int(self_execute_every))
+        self._self_exec_seq = 0
+        self._self_exec_queue: queue.Queue | None = None
+        self._self_exec_thread: threading.Thread | None = None
+        if self._self_execute_every and self.obs.drift is not None:
+            self._self_exec_queue = queue.Queue(maxsize=64)
+            self._self_exec_thread = threading.Thread(
+                target=self._self_execute_worker,
+                name="repro-serve-selfexec",
+                daemon=True,
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "EstimationService":
         if self.batcher is not None:
             self.batcher.start()
+        if self._self_exec_thread is not None:
+            self._self_exec_thread.start()
         return self
 
     def close(self) -> None:
         if self.batcher is not None:
             self.batcher.close()
+        if self._self_exec_thread is not None and self._self_exec_thread.is_alive():
+            try:
+                self._self_exec_queue.put_nowait(None)  # wake + stop
+            except queue.Full:
+                pass
+            self._self_exec_thread.join(timeout=5.0)
+        self.obs.close()
 
     @property
     def batching(self) -> bool:
@@ -146,7 +218,13 @@ class EstimationService:
         """
         active = self.registry.get(model)
         started = time.perf_counter()
-        values = active.estimator.estimate_batch(queries)
+        with request_tracing.span(
+            "inference",
+            estimator=active.estimator_name,
+            queries=len(queries),
+            version=active.version,
+        ):
+            values = active.estimator.estimate_batch(queries)
         elapsed = time.perf_counter() - started
         if len(values) != len(queries):
             raise EstimationError(
@@ -161,7 +239,9 @@ class EstimationService:
 
     # -- endpoints ---------------------------------------------------------
 
-    def estimate_many(self, sqls: list, model: str | None = None) -> dict:
+    def estimate_many(
+        self, sqls: list, model: str | None = None, request_id: str = ""
+    ) -> dict:
         """Price ``sqls`` (the /estimate and /estimate_batch core).
 
         With micro-batching the queries ride the collector thread and
@@ -175,7 +255,8 @@ class EstimationService:
         """
         if not isinstance(sqls, list) or not sqls:
             raise BadRequestError("'sql' must be a non-empty string or list")
-        queries = [self.parse(sql) for sql in sqls]
+        with request_tracing.span("parse", queries=len(sqls)):
+            queries = [self.parse(sql) for sql in sqls]
         model_name = self.registry.get(model).name  # 404 before queueing
         deadline = Deadline.after(self._request_timeout)
         fallback_used = False
@@ -211,14 +292,78 @@ class EstimationService:
         }
         if fallback_used:
             result["error"] = error_text
+        if request_id:
+            result["request_id"] = request_id
+        if self.obs.drift is not None:
+            self._note_served(
+                request_id, model_name, version, sqls, queries, values
+            )
         return result
+
+    def _note_served(
+        self,
+        request_id: str,
+        model_name: str,
+        version: int,
+        sqls: list,
+        queries: list[Query],
+        values: list[float],
+    ) -> None:
+        """Remember what was served (feedback + self-execution sampling)."""
+        estimator = self.registry.get(model_name).estimator_name
+        entries = [
+            {
+                "sql": sql,
+                "template": tuple(sorted(query.tables)),
+                "estimate": float(value),
+            }
+            for sql, query, value in zip(sqls, queries, values)
+        ]
+        if request_id:
+            with self._recent_lock:
+                self._recent[request_id] = {
+                    "model": model_name,
+                    "version": version,
+                    "estimator": estimator,
+                    "queries": entries,
+                }
+                while len(self._recent) > _RECENT_REQUEST_CAP:
+                    self._recent.popitem(last=False)
+        if self._self_exec_queue is not None:
+            for entry, query in zip(entries, queries):
+                self._self_exec_seq += 1
+                if self._self_exec_seq % self._self_execute_every:
+                    continue
+                try:
+                    self._self_exec_queue.put_nowait(
+                        (model_name, version, estimator, request_id, entry, query)
+                    )
+                except queue.Full:
+                    obs_metrics.registry().counter(
+                        "serve.self_execution_dropped"
+                    ).inc()
 
     def _submit(
         self, model_name: str, queries: list[Query], deadline: Deadline
     ) -> tuple[list[float], int]:
         if self.batcher is not None:
             timeout = deadline.tightest(30.0)
-            return self.batcher.submit(model_name, queries, timeout)
+            tracer = request_tracing.current_tracer()
+            if tracer is None:
+                return self.batcher.submit(model_name, queries, timeout)
+            # The queue_wait span covers enqueue->resolve; the link the
+            # collector fills lets this trace name the batch span (and
+            # registry version) that actually served it.
+            with tracer.span("queue_wait", queries=len(queries)) as wait_span:
+                link = TraceLink(tracer.trace_id, wait_span.span_id)
+                outcome = self.batcher.submit(
+                    model_name, queries, timeout, link=link
+                )
+                if link.batch_span_id is not None:
+                    wait_span.set(
+                        batch_span_id=link.batch_span_id, version=link.version
+                    )
+            return outcome
         if not self._in_flight.acquire(blocking=False):
             obs_metrics.registry().counter("serve.admission_rejected").inc()
             raise AdmissionError(
@@ -229,7 +374,9 @@ class EstimationService:
         finally:
             self._in_flight.release()
 
-    def sub_plans(self, sql: str, model: str | None = None) -> dict:
+    def sub_plans(
+        self, sql: str, model: str | None = None, request_id: str = ""
+    ) -> dict:
         """Price the whole sub-plan space of ``sql`` (the /subplans core).
 
         Runs the same failure-isolated batched path the benchmark's
@@ -238,15 +385,22 @@ class EstimationService:
         retry/fallback when the estimator misbehaves or a per-request
         deadline needs cooperative checking.
         """
-        query = self.parse(sql)
+        with request_tracing.span("parse", queries=1):
+            query = self.parse(sql)
         active = self.registry.get(model)
-        outcome = resilient_sub_plan_estimates(
-            active.estimator,
-            query,
-            fallback=self._fallback,
-            retry=self._retry,
-            deadline=Deadline.after(self._request_timeout),
-        )
+        with request_tracing.span(
+            "inference",
+            estimator=active.estimator_name,
+            version=active.version,
+            mode="sub_plans",
+        ):
+            outcome = resilient_sub_plan_estimates(
+                active.estimator,
+                query,
+                fallback=self._fallback,
+                retry=self._retry,
+                deadline=Deadline.after(self._request_timeout),
+            )
         sub_plans = [
             {"tables": sorted(subset), "estimate": estimate}
             for subset, estimate in sorted(
@@ -254,7 +408,7 @@ class EstimationService:
                 key=lambda item: (len(item[0]), sorted(item[0])),
             )
         ]
-        return {
+        result = {
             "model": active.name,
             "version": active.version,
             "estimator": active.estimator_name,
@@ -263,6 +417,120 @@ class EstimationService:
             "fallback_estimates": outcome.fallback_count,
             "attempts": outcome.attempts,
         }
+        if request_id:
+            result["request_id"] = request_id
+        return result
+
+    # -- accuracy feedback -------------------------------------------------
+
+    def feedback(self, payload: dict) -> dict:
+        """Fold actual cardinalities into the drift monitor (POST /feedback).
+
+        Two forms: ``{"request_id": ..., "actuals": [...]}`` resolves a
+        recently served request to the exact estimates (and registry
+        version) that answered it; ``{"sql": ..., "estimate": ...,
+        "actual": ...}`` reports a standalone pair (the estimate is
+        recomputed against the current model when omitted).
+        """
+        drift = self.obs.drift
+        if drift is None:
+            raise BadRequestError("drift monitoring is disabled on this server")
+        if not isinstance(payload, dict):
+            raise BadRequestError("feedback body must be a JSON object")
+        records: list[dict] = []
+        request_id = payload.get("request_id")
+        if request_id is not None:
+            with self._recent_lock:
+                entry = self._recent.pop(str(request_id), None)
+            if entry is None:
+                raise BadRequestError(
+                    f"unknown or expired request_id {request_id!r}"
+                )
+            actuals = payload.get("actuals")
+            if actuals is None and "actual" in payload:
+                actuals = [payload["actual"]]
+            if not isinstance(actuals, list) or len(actuals) != len(
+                entry["queries"]
+            ):
+                raise BadRequestError(
+                    f"'actuals' must be a list of {len(entry['queries'])} "
+                    "values (one per served query)"
+                )
+            for served, actual in zip(entry["queries"], actuals):
+                records.append(
+                    drift.observe(
+                        model=entry["model"],
+                        version=entry["version"],
+                        template=served["template"],
+                        estimate=served["estimate"],
+                        actual=_as_rows(actual),
+                        estimator=entry["estimator"],
+                        request_id=str(request_id),
+                        source="feedback",
+                        sql=served["sql"],
+                    )
+                )
+        else:
+            sql = payload.get("sql")
+            if not isinstance(sql, str) or "actual" not in payload:
+                raise BadRequestError(
+                    "feedback needs 'request_id' or 'sql' plus 'actual'"
+                )
+            query = self.parse(sql)
+            active = self.registry.get(payload.get("model"))
+            estimate = payload.get("estimate")
+            if estimate is None:
+                estimate = self.estimate_many([sql], model=active.name)[
+                    "estimates"
+                ][0]
+            records.append(
+                drift.observe(
+                    model=active.name,
+                    version=active.version,
+                    template=tuple(sorted(query.tables)),
+                    estimate=_as_rows(estimate),
+                    actual=_as_rows(payload["actual"]),
+                    estimator=active.estimator_name,
+                    source="feedback",
+                    sql=sql,
+                )
+            )
+        obs_metrics.registry().counter("serve.feedback_pairs").inc(len(records))
+        return {
+            "accepted": len(records),
+            "q_errors": [round(record["q_error"], 4) for record in records],
+            "degraded_windows": drift.snapshot()["degraded_windows"],
+        }
+
+    def _self_execute_worker(self) -> None:
+        """Ground-truth sampler: execute sampled queries, feed the monitor."""
+        from repro.core.truecards import TrueCardinalityService
+
+        truth: TrueCardinalityService | None = None
+        registry = obs_metrics.registry()
+        while True:
+            item = self._self_exec_queue.get()
+            if item is None:
+                return
+            model_name, version, estimator, request_id, entry, query = item
+            try:
+                if truth is None:
+                    truth = TrueCardinalityService(self.database)
+                actual = truth.cardinality(query)
+                self.obs.drift.observe(
+                    model=model_name,
+                    version=version,
+                    template=entry["template"],
+                    estimate=entry["estimate"],
+                    actual=float(actual),
+                    estimator=estimator,
+                    request_id=request_id,
+                    source="self_execution",
+                    sql=entry["sql"],
+                )
+                registry.counter("serve.self_execution_pairs").inc()
+            except Exception:
+                registry.counter("serve.self_execution_failures").inc()
 
     def promote(
         self,
@@ -320,7 +588,7 @@ class EstimationService:
     # -- health ------------------------------------------------------------
 
     def healthz(self) -> dict:
-        return {
+        health = {
             "status": "ok",
             "run_id": self.run_id,
             "uptime_seconds": round(self.uptime_seconds(), 3),
@@ -331,3 +599,29 @@ class EstimationService:
                 for name in self.registry.names()
             },
         }
+        if self.obs.slo is not None:
+            health["slo"] = self.obs.slo.snapshot()
+        if self.obs.drift is not None:
+            drift = self.obs.drift.snapshot()
+            health["drift"] = {
+                "events": drift["events"],
+                "degraded_windows": drift["degraded_windows"],
+                "tracked_windows": len(drift["windows"]),
+                "degraded": [
+                    entry for entry in drift["windows"] if entry["degraded"]
+                ],
+            }
+        return health
+
+
+def _as_rows(value) -> float:
+    """Coerce a client-supplied cardinality; reject junk as a 400."""
+    try:
+        rows = float(value)
+    except (TypeError, ValueError):
+        raise BadRequestError(
+            f"cardinality values must be numbers, got {value!r}"
+        ) from None
+    if rows < 0 or rows != rows:  # negative or NaN
+        raise BadRequestError(f"cardinality values must be >= 0, got {value!r}")
+    return rows

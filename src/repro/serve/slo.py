@@ -1,0 +1,142 @@
+"""Burn-rate SLO accounting for the serving path.
+
+An SLO here is two budgets: an availability budget (fraction of
+requests allowed to fail with 5xx) and a latency budget (fraction of
+requests allowed to exceed the target p99).  The monitor keeps a
+sliding window of recent request outcomes per window length and
+reports **burn rates** — observed bad-fraction divided by budget — the
+multi-window form SRE alerting uses: a burn rate of 1.0 means the
+error budget is being consumed exactly as fast as it accrues; 10 means
+ten times too fast.
+
+The burn rates are mirrored into registry gauges
+(``serve.slo.error_burn_rate.<w>s`` and
+``serve.slo.latency_burn_rate.<w>s``) whenever :meth:`SLOMonitor.snapshot`
+runs — which both ``/healthz`` and the ``/metrics`` scrape do — so they
+ride the existing Prometheus export and the live dashboard with no
+extra plumbing.  Mirroring at *read* time keeps :meth:`record`, which
+runs on every served request, down to O(1) deque bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs import metrics as obs_metrics
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Serving objectives: latency target and error budgets."""
+
+    #: Requests slower than this count against the latency budget.
+    target_p99_seconds: float = 0.25
+    #: Allowed fraction of 5xx responses (availability budget).
+    error_budget: float = 0.01
+    #: Allowed fraction of requests slower than the target.  Named for
+    #: p99: by default 1% of requests may exceed ``target_p99_seconds``.
+    latency_budget: float = 0.01
+    #: Sliding-window lengths, seconds — a fast window for paging-grade
+    #: signals, a slow one for sustained burn.
+    windows: tuple[int, ...] = (60, 600)
+
+
+@dataclass
+class _Window:
+    seconds: int
+    #: (monotonic_ts, is_error, is_slow) triples, pruned on record/read.
+    outcomes: deque = field(default_factory=deque)
+    #: Running tallies over ``outcomes`` — kept in lockstep by
+    #: append/prune so reading a rate is O(1), not a deque scan (the
+    #: record path runs on every served request).
+    errors: int = 0
+    slow: int = 0
+
+    def append(self, now: float, is_error: bool, is_slow: bool) -> None:
+        self.outcomes.append((now, is_error, is_slow))
+        self.errors += is_error
+        self.slow += is_slow
+
+    def prune(self, now: float) -> None:
+        horizon = now - self.seconds
+        outcomes = self.outcomes
+        while outcomes and outcomes[0][0] < horizon:
+            _, was_error, was_slow = outcomes.popleft()
+            self.errors -= was_error
+            self.slow -= was_slow
+
+
+class SLOMonitor:
+    """Thread-safe sliding-window burn-rate tracker for one server."""
+
+    def __init__(self, config: SLOConfig | None = None, clock=time.monotonic):
+        self.config = config or SLOConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._windows = [_Window(seconds) for seconds in self.config.windows]
+        self._total = 0
+        self._errors = 0
+        self._slow = 0
+
+    def record(self, route: str, latency_seconds: float, status: int) -> None:
+        """Fold one finished request into every window — O(1) amortised."""
+        is_error = status >= 500
+        is_slow = latency_seconds > self.config.target_p99_seconds
+        now = self._clock()
+        with self._lock:
+            self._total += 1
+            self._errors += is_error
+            self._slow += is_slow
+            for window in self._windows:
+                window.append(now, is_error, is_slow)
+                window.prune(now)
+
+    @staticmethod
+    def _rates(window: _Window) -> tuple[float, float]:
+        total = len(window.outcomes)
+        if not total:
+            return 0.0, 0.0
+        return window.errors / total, window.slow / total
+
+    def snapshot(self) -> dict:
+        """Window-by-window burn rates for ``/healthz`` detail.
+
+        Also refreshes the registry burn-rate gauges, so any read path
+        (healthz, the /metrics scrape) publishes current values.
+        """
+        now = self._clock()
+        registry = obs_metrics.registry()
+        with self._lock:
+            windows = {}
+            for window in self._windows:
+                window.prune(now)
+                error_rate, slow_rate = self._rates(window)
+                registry.gauge(
+                    f"serve.slo.error_burn_rate.{window.seconds}s"
+                ).set(error_rate / self.config.error_budget)
+                registry.gauge(
+                    f"serve.slo.latency_burn_rate.{window.seconds}s"
+                ).set(slow_rate / self.config.latency_budget)
+                windows[f"{window.seconds}s"] = {
+                    "requests": len(window.outcomes),
+                    "error_rate": round(error_rate, 6),
+                    "slow_rate": round(slow_rate, 6),
+                    "error_burn_rate": round(
+                        error_rate / self.config.error_budget, 4
+                    ),
+                    "latency_burn_rate": round(
+                        slow_rate / self.config.latency_budget, 4
+                    ),
+                }
+            return {
+                "target_p99_ms": self.config.target_p99_seconds * 1000.0,
+                "error_budget": self.config.error_budget,
+                "latency_budget": self.config.latency_budget,
+                "lifetime_requests": self._total,
+                "lifetime_errors": self._errors,
+                "lifetime_slow": self._slow,
+                "windows": windows,
+            }

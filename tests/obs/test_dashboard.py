@@ -174,3 +174,94 @@ def test_phase_profile_section_renders_from_manifest(tmp_path):
     assert "2.00" in html  # peak MiB
     assert "4242" in html  # per-worker row
     assert "dispatch" in html.lower()
+
+
+class TestServePanel:
+    def _write_jsonl(self, path, records):
+        import json
+
+        with path.open("w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        return path
+
+    def test_serve_section_renders_routes_and_drift(self, tmp_path):
+        access = self._write_jsonl(
+            tmp_path / "access.jsonl",
+            [
+                {
+                    "ts": 1.0,
+                    "request_id": "r1",
+                    "route": "estimate",
+                    "method": "POST",
+                    "status": 200,
+                    "latency_ms": 1.5,
+                },
+                {
+                    "ts": 2.0,
+                    "request_id": "r2",
+                    "route": "estimate",
+                    "method": "POST",
+                    "status": 500,
+                    "latency_ms": 9.0,
+                },
+                {
+                    "ts": 3.0,
+                    "request_id": "r3",
+                    "route": "subplans",
+                    "method": "POST",
+                    "status": 400,
+                    "latency_ms": 0.4,
+                },
+            ],
+        )
+        drift = self._write_jsonl(
+            tmp_path / "drift.jsonl",
+            [
+                {
+                    "model": "default",
+                    "version": 2,
+                    "tables": ["posts", "users"],
+                    "q_error": 12.0,
+                    "source": "feedback",
+                },
+                {
+                    "model": "default",
+                    "version": 2,
+                    "tables": ["posts", "users"],
+                    "q_error": 8.0,
+                    "source": "self_execution",
+                },
+            ],
+        )
+        html = render_dashboard(
+            serve_access_path=access, serve_drift_path=drift
+        )
+        assert "<h2>Serving</h2>" in html
+        assert "3 requests in the access log" in html
+        assert "estimate" in html and "subplans" in html
+        assert "Accuracy drift (2 est-vs-actual pairs)" in html
+        assert "posts ⋈ users" in html
+        assert "feedback, self_execution" in html
+
+    def test_serve_panel_absent_without_artifacts(self):
+        assert "<h2>Serving</h2>" not in render_dashboard()
+
+    def test_write_dashboard_passes_serve_paths(self, tmp_path):
+        access = self._write_jsonl(
+            tmp_path / "access.jsonl",
+            [
+                {
+                    "ts": 1.0,
+                    "request_id": "r1",
+                    "route": "estimate",
+                    "method": "POST",
+                    "status": 200,
+                    "latency_ms": 1.0,
+                }
+            ],
+        )
+        out = write_dashboard(
+            tmp_path / "dash.html", serve_access_path=access
+        )
+        assert "<h2>Serving</h2>" in out.read_text()

@@ -132,3 +132,80 @@ class TestDumpMerge:
         source.histogram("h").observe(0.25)
         target.merge(source.dump())
         assert target.snapshot() == source.snapshot()
+
+
+class TestLogBuckets:
+    def test_bucket_counts_admit_every_observation(self):
+        histogram = Histogram()
+        for value in (0.001, 0.001, 0.1, 100.0):
+            histogram.observe(value)
+        assert sum(histogram.bucket_counts) == 4
+        pairs = dict(histogram.cumulative_buckets())
+        assert pairs[float("inf")] == 4
+        cumulative = [count for _, count in histogram.cumulative_buckets()]
+        assert cumulative == sorted(cumulative)  # monotone by construction
+
+    def test_small_sample_percentiles_stay_exact(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        # Reservoir not saturated: raw nearest-rank, not bucket bounds.
+        assert histogram.percentile(50) == 51.0
+        assert histogram.percentile(99) == 99.0
+
+    def test_saturated_percentile_tracks_late_shift(self):
+        """The regression the buckets exist for: a latency regime shift
+        after the raw-sample reservoir stops admitting must still move
+        p99.  Replays 9000 fast then 9000 slow observations (the cap is
+        8192, so the entire slow regime misses the reservoir)."""
+        histogram = Histogram()
+        for _ in range(9000):
+            histogram.observe(0.001)
+        for _ in range(9000):
+            histogram.observe(0.1)
+        # Reservoir froze on the fast regime...
+        assert max(histogram.samples) == 0.001
+        # ...but the bucketed p99 sees the shifted distribution: within
+        # one factor-2 bucket boundary of the true 0.1 p99.
+        p99 = histogram.percentile(99)
+        assert 0.05 <= p99 <= 0.2
+        # p50 straddles the two regimes' boundary too.
+        assert histogram.percentile(10) <= 0.002
+
+    def test_bucket_percentile_caps_at_observed_max(self):
+        histogram = Histogram()
+        histogram.count = 10_000  # force the bucket path
+        histogram.samples = [0.0]
+        for _ in range(10_000):
+            histogram.bucket_counts[-1] += 1  # all overflow
+        histogram.maximum = 123.0
+        assert histogram.percentile(99) == 123.0
+
+    def test_dump_merge_roundtrips_bucket_counts(self):
+        source = MetricsRegistry()
+        for _ in range(9000):
+            source.histogram("h").observe(0.001)
+        for _ in range(9000):
+            source.histogram("h").observe(0.1)
+        target = MetricsRegistry()
+        target.merge(source.dump())
+        merged = target.histogram("h")
+        assert merged.bucket_counts == source.histogram("h").bucket_counts
+        assert 0.05 <= merged.percentile(99) <= 0.2
+
+    def test_merge_rebuckets_pre_bucket_dumps(self):
+        target = MetricsRegistry()
+        legacy = {
+            "histograms": {
+                "h": {
+                    "count": 3,
+                    "total": 0.3,
+                    "minimum": 0.1,
+                    "maximum": 0.1,
+                    "samples": [0.1, 0.1, 0.1],
+                    # no bucket_counts: a dump from before the buckets
+                }
+            }
+        }
+        target.merge(legacy)
+        assert sum(target.histogram("h").bucket_counts) == 3

@@ -121,6 +121,28 @@ def test_prometheus_names_sanitized():
     assert "repro_executor_rows_out_total 1.0" in text
 
 
+def test_prometheus_histogram_bucket_series():
+    registry = obs_metrics.MetricsRegistry()
+    for value in (0.0009, 0.0009, 0.1, 3.0):
+        registry.histogram("serve.latency_seconds.estimate").observe(value)
+    text = prometheus_text(registry=registry)
+    lines = [
+        line
+        for line in text.splitlines()
+        if line.startswith("repro_serve_latency_seconds_estimate_bucket")
+    ]
+    assert lines, "expected _bucket series alongside the summary"
+    # Cumulative counts are monotone and end at +Inf == count.
+    counts = [float(line.rsplit(" ", 1)[1]) for line in lines]
+    assert counts == sorted(counts)
+    assert lines[-1].startswith(
+        'repro_serve_latency_seconds_estimate_bucket{le="+Inf"}'
+    )
+    assert counts[-1] == 4.0
+    # The 2^-10 boundary (0.0009765625) covers both sub-ms observations.
+    assert any('le="0.0009765625"' in line and " 2" in line for line in lines)
+
+
 # -- SnapshotWriter -----------------------------------------------------------
 
 
