@@ -18,6 +18,14 @@ checks are:
     Plan-choice independence: every physical plan the planner *could*
     have picked (all join orders × all legal join methods × both scan
     methods) must produce the same count as the chosen one.
+``planner-vectorised``
+    Scalar-vs-batched DP scoring: under fuzzed cardinality maps —
+    the true counts plus adversarial variants (all-equal values that
+    force cost ties, zeros, sub-row fractions, seeded perturbations) —
+    the scalar differential oracle and the vectorised planner must
+    produce identical ``(estimated_cost, plan)``, exact float equality
+    included, proving the codified ``(cost, method_rank, left_mask)``
+    tie-break order is applied identically in both paths.
 ``parallel``
     A fork-based multi-worker benchmark run must report the same
     result cardinalities as a serial run of the same workload.
@@ -41,6 +49,8 @@ import math
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
+
+import numpy as np
 
 from repro.check.fuzz import CheckCase
 from repro.check.oracle import SQLiteOracle
@@ -72,7 +82,14 @@ from repro.workloads.generator import Workload
 
 #: The metamorphic invariants, in the order the runner applies them.
 #: The SQLite oracle comparison is controlled separately (``--oracle``).
-ALL_INVARIANTS = ("batch", "cache", "plans", "parallel", "resume")
+ALL_INVARIANTS = (
+    "batch",
+    "cache",
+    "plans",
+    "planner-vectorised",
+    "parallel",
+    "resume",
+)
 
 #: Relative tolerance for batch-vs-loop equivalence.  Vectorised
 #: implementations may reorder float reductions (stacked matmuls vs
@@ -366,6 +383,73 @@ def check_plans(case: CheckCase) -> list[Discrepancy]:
     return discrepancies
 
 
+# -- planner-vectorised -------------------------------------------------------
+
+
+def _card_map_variants(
+    true_cards: dict[frozenset[str], float],
+    rng: np.random.Generator,
+) -> dict[str, dict[frozenset[str], float]]:
+    """Adversarial cardinality maps for the scalar-vs-vectorised diff.
+
+    Beyond the true counts, each variant targets a tie-breaking or
+    clamping edge: constant maps make *every* candidate cost tie (the
+    total order alone decides), zeros exercise the ``max(0, ·)`` clamps
+    and zero-page index paths, sub-row fractions hit the learned-
+    estimator regime of cards below one row, and the perturbed map
+    draws from a small tie-prone pool so some — but not all — costs
+    collide.
+    """
+    subsets = sorted(true_cards, key=sorted)
+    pool = np.array([0.0, 0.5, 1.0, 2.0, 1000.0])
+    return {
+        "true": true_cards,
+        "ties": {s: 1.0 for s in subsets},
+        "zeros": {s: 0.0 for s in subsets},
+        "sub-row": {s: 0.25 for s in subsets},
+        "perturbed": {s: float(rng.choice(pool)) for s in subsets},
+    }
+
+
+def check_planner_vectorised(case: CheckCase) -> list[Discrepancy]:
+    """Scalar and batched DP scoring must agree bit for bit."""
+    discrepancies: list[Discrepancy] = []
+    scalar = Planner(case.database, vectorised=False)
+    vector = Planner(case.database, vectorised=True)
+    service = TrueCardinalityService(case.database)
+    rng = np.random.default_rng(np.random.SeedSequence([case.seed, case.index]))
+    for query in case.queries:
+        true_cards = {
+            subset: float(count)
+            for subset, count in service.sub_plan_cards(query).items()
+        }
+        for label, cards in _card_map_variants(true_cards, rng).items():
+            expected = scalar.plan(query, cards)
+            got = vector.plan(query, cards)
+            if float(expected.estimated_cost) != float(got.estimated_cost):
+                discrepancies.append(
+                    Discrepancy(
+                        "planner-vectorised",
+                        query.name,
+                        f"cards[{label}]: scalar cost "
+                        f"{expected.estimated_cost!r} != vectorised "
+                        f"{got.estimated_cost!r}",
+                    )
+                )
+            elif expected.plan != got.plan:
+                discrepancies.append(
+                    Discrepancy(
+                        "planner-vectorised",
+                        query.name,
+                        f"cards[{label}]: same cost "
+                        f"{expected.estimated_cost!r} but different plans:\n"
+                        f"scalar:\n{expected.plan.describe()}\n"
+                        f"vectorised:\n{got.plan.describe()}",
+                    )
+                )
+    return discrepancies
+
+
 # -- parallel -----------------------------------------------------------------
 
 
@@ -465,6 +549,7 @@ _CHECKERS = {
     "batch": check_batch,
     "cache": check_cache,
     "plans": check_plans,
+    "planner-vectorised": check_planner_vectorised,
     "parallel": check_parallel,
     "resume": check_resume,
 }

@@ -31,6 +31,7 @@ from repro.check.invariants import (
     check_cache,
     check_oracle,
     check_parallel,
+    check_planner_vectorised,
     check_plans,
     check_resume,
     parallel_applicable,
@@ -41,6 +42,7 @@ from repro.core.injection import sub_plan_sets
 from repro.core.truecards import TrueCardinalityService
 from repro.engine.database import Database
 from repro.engine.sql import parse_query, query_to_sql
+from repro.engine.subsets import clear_space_cache
 from repro.workloads.generator import Workload
 
 
@@ -126,6 +128,7 @@ _INVARIANT_CHECKERS = {
     "batch": check_batch,
     "cache": check_cache,
     "plans": check_plans,
+    "planner-vectorised": check_planner_vectorised,
     "parallel": check_parallel,
     "resume": check_resume,
 }
@@ -215,6 +218,10 @@ def run_check(options: CheckOptions) -> CheckReport:
     report = CheckReport()
     started = time.perf_counter()
     for index in range(options.cases):
+        # Every fuzz case is a fresh join-graph shape; without this the
+        # per-shape space memo (and the numpy level templates each space
+        # pins) would fill with shapes no later case revisits.
+        clear_space_cache()
         case = build_case(options.seed, index, options.config)
         report.cases_run += 1
         report.queries_checked += len(case.queries)

@@ -147,6 +147,39 @@ def _write_profile_artifacts(
     return paths
 
 
+def _planning_throughput(database, queries) -> dict:
+    """Planner DP throughput under the workload's stored true cards.
+
+    Baseline currency for the ``plan/<workload>`` observatory key:
+    best-of-3 sweep of ``Planner.plan`` (vectorised default) over every
+    labelled query, reported as sub-plans costed per second.
+    """
+    import math
+    import time
+
+    from repro.engine.planner import Planner
+
+    planner = Planner(database)
+    with_cards = [
+        (
+            labeled.query,
+            {s: float(c) for s, c in labeled.sub_plan_true_cards.items()},
+        )
+        for labeled in queries
+    ]
+    num_sub_plans = sum(len(cards) for _, cards in with_cards)
+    best = math.inf
+    for _ in range(3):
+        started = time.perf_counter()
+        for query, cards in with_cards:
+            planner.plan(query, cards)
+        best = min(best, time.perf_counter() - started)
+    return {
+        "planning_seconds": best,
+        "subplans_costed_per_second": num_sub_plans / best,
+    }
+
+
 def cmd_profile(args) -> int:
     """Profile a smoke campaign: flamegraph, phase table, perf gate."""
     from repro.obs import manifest as obs_manifest
@@ -220,9 +253,19 @@ def cmd_profile(args) -> int:
         )
         for name, run in runs
     }
+    # Always the full workload (not --limit's slice): the throughput
+    # rate depends on the query mix, and the key must stay comparable
+    # across invocations and with bench_plan's recorded baseline.
+    current[f"plan/{workload_name.replace('-', '_')}"] = _planning_throughput(
+        context.database(args.database), workload.queries
+    )
     if args.update_baselines:
         baselines = prof_baseline.load_baselines(args.baselines)
-        baselines.update(current)
+        # Per-metric merge: bench_plan records throughput metrics under
+        # the same plan/* bench key; replacing whole entries would drop
+        # them.
+        for bench, metrics in current.items():
+            baselines.setdefault(bench, {}).update(metrics)
         path = prof_baseline.save_baselines(
             args.baselines, baselines, note="updated by `repro profile`"
         )
@@ -250,6 +293,11 @@ def cmd_bench(args) -> int:
     from repro.obs import events as obs_events
     from repro.obs import manifest as obs_manifest
     from repro.obs import progress as obs_progress
+
+    if args.scalar_planner:
+        from repro.engine.planner import set_default_vectorised
+
+        set_default_vectorised(False)
 
     checkpoint_path = args.resume or args.checkpoint
     config = dataclasses.replace(
@@ -670,6 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts per failed estimator/planner/executor call",
     )
     bench.add_argument(
+        "--scalar-planner",
+        action="store_true",
+        help="plan with the scalar differential-oracle scoring path "
+        "instead of the vectorised DP (same plans and costs, bit for "
+        "bit; useful for isolating planner regressions)",
+    )
+    bench.add_argument(
         "--query-timeout",
         type=float,
         default=None,
@@ -1019,8 +1074,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--invariants",
         default="",
         metavar="LIST",
-        help="comma-separated metamorphic invariants to run "
-        "(default: cache,plans,parallel,resume)",
+        help="comma-separated metamorphic invariants to run (default: "
+        "batch,cache,plans,planner-vectorised,parallel,resume)",
     )
     check.add_argument(
         "--artifact-dir",

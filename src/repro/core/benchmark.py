@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from repro.core.metrics import p_error, q_error
 from repro.core.parallel import fork_available, run_parallel
 from repro.engine.cache import ExecutionContext
+from repro.engine.cost import MissingCardinalityError
 from repro.engine.database import Database
 from repro.engine.executor import ExecutionAborted, Executor
 from repro.engine.planner import Planner
@@ -267,6 +268,10 @@ class EndToEndBenchmark:
         self._workers = max(1, workers)
 
     @property
+    def database(self) -> Database:
+        return self._database
+
+    @property
     def planner(self) -> Planner:
         return self._planner
 
@@ -478,6 +483,10 @@ class EndToEndBenchmark:
                         lambda: self._planner.plan(query, estimates),
                         retry,
                         deadline=deadline,
+                        # A cards map missing a connected sub-plan is
+                        # deterministic — replanning can only fail the
+                        # same way, so fall through to fallback at once.
+                        non_retryable=(MissingCardinalityError,),
                         on_retry=lambda *_: registry.counter(
                             "resilience.planning_retries"
                         ).inc(),

@@ -60,6 +60,9 @@ import os
 import sys
 import time
 from multiprocessing import connection as mp_connection
+from multiprocessing import shared_memory
+
+import numpy as np
 
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
@@ -78,6 +81,96 @@ _POLL_SECONDS = 0.05
 
 #: Grace period for workers to drain their sentinel and exit.
 _JOIN_SECONDS = 5.0
+
+#: Tables at least this big have their column arrays moved into POSIX
+#: shared memory before the pool forks (see :class:`SharedColumns`).
+#: Small tables stay on the heap: a segment per tiny column would cost
+#: more in mappings than copy-on-write could ever lose.
+SHARE_COLUMNS_MIN_BYTES = 8 << 20
+
+
+class SharedColumns:
+    """Back the largest tables' column arrays with shared memory.
+
+    Fork gives workers copy-on-write access to the parent's numpy
+    arrays, but CoW is per-page and fragile: parent-side refcount
+    updates and allocator churn on pages holding (or neighbouring) the
+    big column buffers fault private copies into every worker.
+    Re-pointing those buffers into ``multiprocessing.shared_memory``
+    segments *before* the fork pins a single copy in a dedicated
+    mapping every worker reads directly — an N-worker STATS-scale pool
+    keeps one copy of the big columns instead of up to N+1.
+
+    Only tables of at least ``min_table_bytes`` are moved; object-dtype
+    and zero-length arrays stay put.  Sharing is value-preserving and
+    invisible to readers, and the shared arrays are marked read-only so
+    a buggy in-place write fails loudly instead of silently leaking
+    into sibling workers.  :meth:`restore` re-points the columns at the
+    original heap arrays and unlinks every segment (idempotent; the
+    children forked meanwhile keep their mappings until they exit).
+    """
+
+    def __init__(self, database, min_table_bytes: int = SHARE_COLUMNS_MIN_BYTES):
+        self._database = database
+        self._min_table_bytes = min_table_bytes
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._originals: list[tuple[object, str, np.ndarray]] = []
+        self.shared_bytes = 0
+        self.shared_tables: tuple[str, ...] = ()
+
+    def share(self) -> None:
+        """Move qualifying column arrays into shared memory (once)."""
+        if self._database is None or self._originals:
+            return
+        shared_tables: list[str] = []
+        for name, table in self._database.tables.items():
+            if table.nbytes() < self._min_table_bytes:
+                continue
+            moved = 0
+            for column in table.columns.values():
+                for attr in ("values", "null_mask"):
+                    moved += self._share_array(column, attr)
+            if moved:
+                shared_tables.append(name)
+                self.shared_bytes += moved
+        self.shared_tables = tuple(shared_tables)
+
+    def _share_array(self, column, attr: str) -> int:
+        array = getattr(column, attr)
+        if array.nbytes == 0 or array.dtype.hasobject or not array.flags.c_contiguous:
+            return 0
+        segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        shared = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        shared[...] = array
+        shared.flags.writeable = False
+        self._segments.append(segment)
+        self._originals.append((column, attr, array))
+        setattr(column, attr, shared)
+        return array.nbytes
+
+    def restore(self) -> None:
+        """Re-point columns at their heap arrays; unlink every segment."""
+        for column, attr, array in self._originals:
+            setattr(column, attr, array)
+        self._originals.clear()
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:
+                pass  # a stale reader still holds a view; unlink regardless
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedColumns":
+        self.share()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.restore()
+        return False
 
 
 def fork_available() -> bool:
@@ -239,7 +332,23 @@ def run_parallel(
 
     _FORK_STATE = (benchmark, estimator, queries)
     task_queue = context.Queue()
+    shared_columns = SharedColumns(
+        getattr(benchmark, "database", None), SHARE_COLUMNS_MIN_BYTES
+    )
     try:
+        # Pin the largest tables' columns in shared memory before any
+        # fork so every worker maps one copy instead of CoW-duplicating.
+        shared_columns.share()
+        if shared_columns.shared_bytes:
+            registry.counter("parallel.shared_column_bytes").inc(
+                shared_columns.shared_bytes
+            )
+            obs_events.emit(
+                "parallel.columns_shared",
+                level="debug",
+                bytes=shared_columns.shared_bytes,
+                tables=list(shared_columns.shared_tables),
+            )
         for chunk in dispatch_chunks(len(queries), workers, chunk_size):
             task_queue.put(chunk)
 
@@ -381,6 +490,7 @@ def run_parallel(
     finally:
         _FORK_STATE = None
         _shutdown(processes, task_queue)
+        shared_columns.restore()
     return [outcomes[index] for index in range(len(queries))]
 
 

@@ -10,8 +10,9 @@ estimated cardinalities (during planning) and under true cardinalities
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.engine.database import Database
 from repro.engine.plans import (
@@ -25,6 +26,33 @@ from repro.engine.plans import (
     ScanNode,
 )
 from repro.engine.types import pages_for
+
+
+class MissingCardinalityError(KeyError):
+    """An injected ``cards`` map lacks an entry for a connected sub-plan.
+
+    Raised instead of a bare ``KeyError`` so callers can tell a broken
+    cardinality injection (an estimator silently dropped a sub-plan)
+    apart from ordinary mapping bugs.  Deterministic for a given query
+    and cards map, hence classified as non-retryable by the resilience
+    layer.  Subclasses ``KeyError`` so existing ``except KeyError``
+    handlers keep working.
+    """
+
+    def __init__(self, tables: frozenset[str]):
+        self.tables = frozenset(tables)
+        super().__init__("+".join(sorted(self.tables)))
+
+    def __str__(self) -> str:
+        return f"no injected cardinality for sub-plan {self.args[0]}"
+
+
+def lookup_card(cards: dict[frozenset[str], float], tables: frozenset[str]) -> float:
+    """``cards[tables]``, raising :class:`MissingCardinalityError` if absent."""
+    try:
+        return cards[tables]
+    except KeyError:
+        raise MissingCardinalityError(tables) from None
 
 
 @dataclass(frozen=True)
@@ -68,6 +96,10 @@ class CostModel:
     def params(self) -> CostParameters:
         return self._params
 
+    @property
+    def infos(self) -> dict[str, TableInfo]:
+        return self._infos
+
     # -- public API ---------------------------------------------------------
 
     def plan_cost(self, plan: PlanNode, cards: dict[frozenset[str], float]) -> float:
@@ -91,7 +123,7 @@ class CostModel:
     def _scan_cost(self, node: ScanNode, cards: dict[frozenset[str], float]) -> float:
         info = self._infos[node.table]
         p = self._params
-        out_rows = max(0.0, cards[node.tables])
+        out_rows = max(0.0, lookup_card(cards, node.tables))
         if node.method == SCAN_SEQ:
             run = info.pages * p.seq_page_cost
             run += info.raw_rows * p.cpu_tuple_cost
@@ -122,9 +154,9 @@ class CostModel:
         index.
         """
         p = self._params
-        out_rows = max(0.0, cards[node.tables])
-        left_rows = max(0.0, cards[node.left.tables])
-        right_rows = max(0.0, cards[node.right.tables])
+        out_rows = max(0.0, lookup_card(cards, node.tables))
+        left_rows = max(0.0, lookup_card(cards, node.left.tables))
+        right_rows = max(0.0, lookup_card(cards, node.right.tables))
 
         if node.method == JOIN_HASH:
             build = 2.0 * p.cpu_operator_cost * right_rows
@@ -156,5 +188,175 @@ class CostModel:
         return run
 
     def _sort_cost(self, rows: float) -> float:
+        # np.log2 (not math.log2) so the scalar oracle and the batch
+        # kernel below share one log2 implementation bit for bit.
         rows = max(rows, 2.0)
-        return 2.0 * self._params.cpu_operator_cost * rows * math.log2(rows)
+        return float(2.0 * self._params.cpu_operator_cost * rows * np.log2(rows))
+
+    # -- batched kernels -------------------------------------------------------
+    #
+    # The vectorised planner scores whole DP levels at once.  Each batch
+    # kernel evaluates *exactly* the scalar expression tree above,
+    # elementwise over float64 arrays (same literals, same association
+    # order, ``np.maximum`` for ``max``), so a batched cost is
+    # bit-identical to the scalar cost of the same candidate — the
+    # scalar path stays usable as a differential oracle.
+
+    def scan_cost_batch(
+        self,
+        nodes: list[ScanNode],
+        cards: dict[frozenset[str], float],
+    ) -> np.ndarray:
+        """Costs of many scan nodes at once (bit-identical to ``scan_cost``)."""
+        p = self._params
+        infos = self._infos
+        out_rows = np.array(
+            [lookup_card(cards, node.tables) for node in nodes], dtype=np.float64
+        )
+        out_rows = np.maximum(0.0, out_rows)
+        pages = np.array([infos[node.table].pages for node in nodes], dtype=np.float64)
+        raw_rows = np.array(
+            [infos[node.table].raw_rows for node in nodes], dtype=np.float64
+        )
+        num_predicates = np.array(
+            [len(node.predicates) for node in nodes], dtype=np.float64
+        )
+        is_seq = np.array([node.method == SCAN_SEQ for node in nodes], dtype=bool)
+
+        costs = np.empty(len(nodes), dtype=np.float64)
+        costs[is_seq] = (
+            pages[is_seq] * p.seq_page_cost
+            + raw_rows[is_seq] * p.cpu_tuple_cost
+            + raw_rows[is_seq] * p.cpu_operator_cost * num_predicates[is_seq]
+        )
+        is_index = ~is_seq
+        selectivity = out_rows[is_index] / np.maximum(1.0, raw_rows[is_index])
+        fetched_pages = np.maximum(1.0, selectivity * pages[is_index])
+        costs[is_index] = (
+            fetched_pages * p.random_page_cost
+            + out_rows[is_index] * p.cpu_index_tuple_cost
+            + out_rows[is_index] * p.cpu_tuple_cost
+            + out_rows[is_index]
+            * p.cpu_operator_cost
+            * np.maximum(0.0, num_predicates[is_index] - 1.0)
+        )
+        return costs
+
+    def join_cost_batch(
+        self,
+        method: str,
+        out_rows: np.ndarray,
+        left_rows: np.ndarray,
+        right_rows: np.ndarray,
+        left_costs: np.ndarray,
+        right_costs: np.ndarray,
+        *,
+        inner_raw_rows: np.ndarray | None = None,
+        inner_num_predicates: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Costs of many same-method join candidates at once.
+
+        Row-count arrays are raw ``cards`` gathers; the kernel applies
+        the same ``max(0, ·)`` clamps as :meth:`join_cost`.  For
+        ``JOIN_INDEX_NL``, ``inner_raw_rows`` / ``inner_num_predicates``
+        describe each candidate's inner base table and ``right_costs``
+        is ignored, mirroring the scalar formula.
+        """
+        p = self._params
+        out_rows = np.maximum(0.0, out_rows)
+        left_rows = np.maximum(0.0, left_rows)
+        right_rows = np.maximum(0.0, right_rows)
+
+        if method == JOIN_HASH:
+            return (
+                left_costs
+                + right_costs
+                + 2.0 * p.cpu_operator_cost * right_rows
+                + p.cpu_operator_cost * left_rows
+                + p.cpu_tuple_cost * out_rows
+            )
+
+        if method == JOIN_MERGE:
+            return (
+                left_costs
+                + right_costs
+                + (self._sort_cost_batch(left_rows) + self._sort_cost_batch(right_rows))
+                + p.cpu_operator_cost * (left_rows + right_rows)
+                + p.cpu_tuple_cost * out_rows
+            )
+
+        assert method == JOIN_INDEX_NL
+        assert inner_raw_rows is not None and inner_num_predicates is not None
+        inner_selectivity = right_rows / np.maximum(1.0, inner_raw_rows)
+        fetched = out_rows / np.maximum(inner_selectivity, 1e-9)
+        per_probe = 0.5 * p.random_page_cost + 4.0 * p.cpu_operator_cost
+        return (
+            left_costs
+            + left_rows * per_probe
+            + fetched * p.cpu_index_tuple_cost
+            + fetched * p.cpu_operator_cost * inner_num_predicates
+            + out_rows * p.cpu_tuple_cost
+        )
+
+    def join_cost_level(
+        self,
+        out_rows: np.ndarray,
+        left_rows: np.ndarray,
+        right_rows: np.ndarray,
+        left_costs: np.ndarray,
+        right_costs: np.ndarray,
+        inl_rows: np.ndarray,
+        inner_raw_rows: np.ndarray,
+        inner_num_predicates: np.ndarray,
+    ) -> np.ndarray:
+        """Score one whole DP level's candidate matrix in a single call.
+
+        Input arrays describe one row per bipartition; ``inl_rows``
+        indexes the index-NL-eligible subset (single-table right half),
+        with ``inner_raw_rows`` / ``inner_num_predicates`` aligned to
+        it.  Returns costs laid out ``[hash | merge | index-NL]`` —
+        bit-identical to three :meth:`join_cost_batch` calls, but with
+        the clamps and the shared ``left + right`` / emit terms computed
+        once (the planner's hot path).
+        """
+        p = self._params
+        out_rows = np.maximum(0.0, out_rows)
+        left_rows = np.maximum(0.0, left_rows)
+        right_rows = np.maximum(0.0, right_rows)
+        num = len(out_rows)
+        costs = np.empty(2 * num + len(inl_rows), dtype=np.float64)
+
+        # Shared subtrees: identical subexpressions of the scalar
+        # formulas, so hoisting them preserves bit-identity.
+        base = left_costs + right_costs
+        emit = p.cpu_tuple_cost * out_rows
+
+        costs[:num] = (
+            base
+            + 2.0 * p.cpu_operator_cost * right_rows
+            + p.cpu_operator_cost * left_rows
+            + emit
+        )
+        costs[num : 2 * num] = (
+            base
+            + (self._sort_cost_batch(left_rows) + self._sort_cost_batch(right_rows))
+            + p.cpu_operator_cost * (left_rows + right_rows)
+            + emit
+        )
+        if len(inl_rows):
+            out = out_rows[inl_rows]
+            inner_selectivity = right_rows[inl_rows] / np.maximum(1.0, inner_raw_rows)
+            fetched = out / np.maximum(inner_selectivity, 1e-9)
+            per_probe = 0.5 * p.random_page_cost + 4.0 * p.cpu_operator_cost
+            costs[2 * num :] = (
+                left_costs[inl_rows]
+                + left_rows[inl_rows] * per_probe
+                + fetched * p.cpu_index_tuple_cost
+                + fetched * p.cpu_operator_cost * inner_num_predicates
+                + out * p.cpu_tuple_cost
+            )
+        return costs
+
+    def _sort_cost_batch(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.maximum(rows, 2.0)
+        return 2.0 * self._params.cpu_operator_cost * rows * np.log2(rows)

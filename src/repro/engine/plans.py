@@ -20,6 +20,15 @@ JOIN_INDEX_NL = "index_nl_join"
 
 JOIN_METHODS = (JOIN_HASH, JOIN_MERGE, JOIN_INDEX_NL)
 
+# Codified plan-choice tie-breaking: candidates are totally ordered by
+# ``(cost, method_rank, left_mask)``, so equally-cheap plans resolve the
+# same way no matter what order they were scored in (Python loop or
+# vectorised argmin).  Lower rank wins a cost tie; a smaller left-half
+# bitmask breaks method ties across bipartitions.
+JOIN_METHOD_RANK = {JOIN_HASH: 0, JOIN_MERGE: 1, JOIN_INDEX_NL: 2}
+JOIN_METHOD_BY_RANK = (JOIN_HASH, JOIN_MERGE, JOIN_INDEX_NL)
+SCAN_METHOD_RANK = {SCAN_SEQ: 0, SCAN_INDEX: 1}
+
 
 @dataclass
 class PlanNode:

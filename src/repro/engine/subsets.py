@@ -21,7 +21,54 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+import numpy as np
+
 from repro.engine.catalog import JoinEdge
+
+#: Bound on the per-join-graph-shape memo behind :func:`space_of`.  A
+#: fuzz sweep presents a fresh shape per case, and each cached space
+#: may carry lazily-built numpy level templates, so the memo must stay
+#: bounded (and clearable, see :func:`clear_space_cache`) rather than
+#: grow for the lifetime of the process.
+SPACE_CACHE_MAXSIZE = 256
+
+
+@dataclass(frozen=True)
+class LevelTemplate:
+    """Precomputed join-candidate matrix for one DP level of a space.
+
+    A *level* is all connected masks of one subset size (two or more
+    tables).  The template captures, shape-only (no cardinalities), the
+    full (left-mask, right-mask, join-method) candidate matrix the
+    vectorised planner scores in one batched kernel call:
+
+    - per-bipartition geometry: ``split_*`` arrays, one row per
+      ``(sub, rest, edge)`` split of any parent at this level, with the
+      crossing edge pre-oriented so ``edge.left`` lies in the left half;
+    - the index-nested-loop-eligible subset (``inl_*``): splits whose
+      right half is a single base table;
+    - expanded per-candidate arrays (``cand_*``) laid out as
+      ``[hash splits | merge splits | index-NL splits]`` for champion
+      selection under the ``(cost, method_rank, left_mask)`` order.
+
+    ``parent_masks`` lists *every* connected mask of this size in
+    canonical order (even split-less ones), keeping the planner's
+    search-effort metrics identical to the scalar path.
+    """
+
+    parent_masks: tuple[int, ...]
+    parent_subsets: tuple[frozenset[str], ...]
+    split_parent: np.ndarray
+    split_parent_ord: np.ndarray
+    split_left: np.ndarray
+    split_right: np.ndarray
+    split_edges: tuple[JoinEdge, ...]
+    inl_rows: np.ndarray
+    inl_inner_table: np.ndarray
+    cand_parent_ord: np.ndarray
+    cand_left: np.ndarray
+    cand_rank: np.ndarray
+    cand_split: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -40,8 +87,10 @@ class JoinSpace:
             ordered ``(left_mask, right_mask, crossing_edge)``
             bipartitions into two connected halves joined by exactly one
             edge — precisely the join candidates a tree-query DP
-            considers.  The enumeration order matches the classic
-            descending sub-mask walk so DP tie-breaking is stable.
+            considers.  Enumeration order is the classic descending
+            sub-mask walk; plan choice does not depend on it, because
+            the planner breaks cost ties with the codified
+            ``(cost, method_rank, left_mask)`` total order.
         pruned_bipartitions: how many (sub, rest) pairs were discarded
             while building ``splits`` (disconnected halves or not a
             single-edge tree split); kept for the planner's
@@ -77,6 +126,96 @@ class JoinSpace:
             cached = frozenset(self.connected_masks)
             object.__setattr__(self, "_connected_set_cache", cached)
         return cached
+
+    def mask_array(self) -> np.ndarray:
+        """``connected_masks`` as an int64 array (lazily built, cached)."""
+        cached = self.__dict__.get("_mask_array_cache")
+        if cached is None:
+            cached = np.array(self.connected_masks, dtype=np.int64)
+            object.__setattr__(self, "_mask_array_cache", cached)
+        return cached
+
+    def level_templates(self) -> tuple[LevelTemplate, ...]:
+        """Per-level candidate matrices for the vectorised planner DP.
+
+        Built lazily on first use and cached on the (memoized) space,
+        so every query sharing this join-graph shape reuses one set of
+        arrays.
+        """
+        cached = self.__dict__.get("_level_templates_cache")
+        if cached is None:
+            cached = _build_level_templates(self)
+            object.__setattr__(self, "_level_templates_cache", cached)
+        return cached
+
+
+def _build_level_templates(space: JoinSpace) -> tuple[LevelTemplate, ...]:
+    bit_of = {name: 1 << i for i, name in enumerate(space.tables)}
+    by_size: dict[int, list[int]] = {}
+    subset_of = dict(zip(space.connected_masks, space.subsets))
+    # connected_masks are canonically ordered by (size, names), so each
+    # per-size bucket inherits the canonical parent order.
+    for mask in space.connected_masks:
+        size = mask.bit_count()
+        if size >= 2:
+            by_size.setdefault(size, []).append(mask)
+
+    templates: list[LevelTemplate] = []
+    for size in sorted(by_size):
+        masks = by_size[size]
+        sp_parent: list[int] = []
+        sp_ord: list[int] = []
+        sp_left: list[int] = []
+        sp_right: list[int] = []
+        sp_edges: list[JoinEdge] = []
+        inl_rows: list[int] = []
+        inl_inner: list[int] = []
+        for ord_, mask in enumerate(masks):
+            for sub, rest, edge in space.splits[mask]:
+                row = len(sp_left)
+                sp_parent.append(mask)
+                sp_ord.append(ord_)
+                sp_left.append(sub)
+                sp_right.append(rest)
+                sp_edges.append(edge if bit_of[edge.left] & sub else edge.reversed())
+                if rest.bit_count() == 1:
+                    # Single-table right half: always planned as a base
+                    # scan, so index nested-loop is a legal method.
+                    inl_rows.append(row)
+                    inl_inner.append(rest.bit_length() - 1)
+        num_splits = len(sp_left)
+        split_parent = np.array(sp_parent, dtype=np.int64)
+        split_parent_ord = np.array(sp_ord, dtype=np.int64)
+        split_left = np.array(sp_left, dtype=np.int64)
+        split_right = np.array(sp_right, dtype=np.int64)
+        inl = np.array(inl_rows, dtype=np.intp)
+        split_idx = np.arange(num_splits, dtype=np.int64)
+        templates.append(
+            LevelTemplate(
+                parent_masks=tuple(masks),
+                parent_subsets=tuple(subset_of[mask] for mask in masks),
+                split_parent=split_parent,
+                split_parent_ord=split_parent_ord,
+                split_left=split_left,
+                split_right=split_right,
+                split_edges=tuple(sp_edges),
+                inl_rows=inl,
+                inl_inner_table=np.array(inl_inner, dtype=np.int64),
+                cand_parent_ord=np.concatenate(
+                    [split_parent_ord, split_parent_ord, split_parent_ord[inl]]
+                ),
+                cand_left=np.concatenate([split_left, split_left, split_left[inl]]),
+                cand_rank=np.concatenate(
+                    [
+                        np.zeros(num_splits, dtype=np.int64),
+                        np.ones(num_splits, dtype=np.int64),
+                        np.full(len(inl_rows), 2, dtype=np.int64),
+                    ]
+                ),
+                cand_split=np.concatenate([split_idx, split_idx, split_idx[inl]]),
+            )
+        )
+    return tuple(templates)
 
 
 def _build_space(tables: tuple[str, ...], edges: tuple[JoinEdge, ...]) -> JoinSpace:
@@ -132,8 +271,9 @@ def _build_space(tables: tuple[str, ...], edges: tuple[JoinEdge, ...]) -> JoinSp
         if mask.bit_count() < 2:
             continue
         found: list[tuple[int, int, JoinEdge]] = []
-        # Descending sub-mask walk, matching the seed planner's
-        # enumeration order (keeps DP tie-breaking bit-identical).
+        # Descending sub-mask walk.  Order is cosmetic: champion
+        # selection uses the (cost, method_rank, left_mask) total
+        # order, not enumeration order.
         sub = (mask - 1) & mask
         while sub:
             rest = mask ^ sub
@@ -157,9 +297,26 @@ def _build_space(tables: tuple[str, ...], edges: tuple[JoinEdge, ...]) -> JoinSp
     )
 
 
-@lru_cache(maxsize=1024)
+@lru_cache(maxsize=SPACE_CACHE_MAXSIZE)
 def _space_cached(tables: tuple[str, ...], edges: tuple[JoinEdge, ...]) -> JoinSpace:
     return _build_space(tables, edges)
+
+
+def space_cache_info():
+    """LRU statistics of the per-shape space memo (``functools`` format)."""
+    return _space_cached.cache_info()
+
+
+def clear_space_cache() -> None:
+    """Drop every memoized :class:`JoinSpace`.
+
+    Each cached space pins its lazily-built numpy level templates, so
+    long-lived processes that keep presenting *fresh* join-graph shapes
+    — most notably the ``repro check`` fuzz sweep, where every case is
+    a new schema — should call this between shapes rather than rely on
+    LRU eviction alone.
+    """
+    _space_cached.cache_clear()
 
 
 def plan_space(

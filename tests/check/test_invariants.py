@@ -9,12 +9,14 @@ from repro.check.invariants import (
     check_cache,
     check_oracle,
     check_parallel,
+    check_planner_vectorised,
     check_plans,
     check_resume,
     parallel_applicable,
     run_invariants,
 )
 from repro.core.truecards import TrueCardinalityService
+from repro.engine.cost import CostModel
 
 
 class TestHealthyCases:
@@ -27,6 +29,10 @@ class TestHealthyCases:
 
     def test_resume_passes(self):
         assert check_resume(build_case(0, 0)) == []
+
+    @pytest.mark.parametrize("index", range(4))
+    def test_planner_vectorised_passes(self, index):
+        assert check_planner_vectorised(build_case(0, index)) == []
 
     def test_parallel_passes_when_applicable(self):
         for index in range(20):
@@ -86,3 +92,34 @@ class TestDetection:
         discrepancies = check_cache(case)
         assert discrepancies
         assert discrepancies[0].invariant == "cache"
+
+    def test_planner_vectorised_detects_kernel_drift(self, monkeypatch):
+        # A batch kernel whose costs drift by even one part in 10^9
+        # breaks bit-identity with the scalar oracle; the invariant
+        # demands *exact* float equality, so it must fire.
+        case = self._multi_table_case()
+        original = CostModel.join_cost_level
+
+        def drifted(self, *args, **kwargs):
+            return original(self, *args, **kwargs) * (1.0 + 1e-9)
+
+        monkeypatch.setattr(CostModel, "join_cost_level", drifted)
+        discrepancies = check_planner_vectorised(case)
+        assert discrepancies
+        assert discrepancies[0].invariant == "planner-vectorised"
+
+    def test_planner_vectorised_detects_tie_break_drift(self, monkeypatch):
+        # Same costs, different champion: corrupt only the vectorised
+        # path's method choice on tied candidates by inverting the rank
+        # key, and the structural plan comparison must catch it.
+        case = self._multi_table_case()
+        from repro.engine import planner as planner_module
+
+        monkeypatch.setattr(
+            planner_module,
+            "JOIN_METHOD_BY_RANK",
+            tuple(reversed(planner_module.JOIN_METHOD_BY_RANK)),
+        )
+        discrepancies = check_planner_vectorised(case)
+        assert discrepancies
+        assert discrepancies[0].invariant == "planner-vectorised"

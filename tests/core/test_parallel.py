@@ -2,10 +2,12 @@
 
 import os
 
+import numpy as np
 import pytest
 
 from repro.core.benchmark import EndToEndBenchmark
 from repro.core.parallel import (
+    SharedColumns,
     default_workers,
     dispatch_chunks,
     fork_available,
@@ -192,6 +194,97 @@ class TestLiveTelemetryStreaming:
         text = snapshot_path.read_text()
         assert f"repro_campaign_queries_total {float(len(subset))!r}" in text
         assert f"repro_campaign_queries_done {float(len(subset))!r}" in text
+
+
+class TestSharedColumns:
+    """Shared-memory column backing is value-preserving and reversible."""
+
+    def test_share_preserves_values_and_restore_reverts(self, tiny_db):
+        originals = {
+            (name, cname): (column.values, column.null_mask)
+            for name, table in tiny_db.tables.items()
+            for cname, column in table.columns.items()
+        }
+        shared = SharedColumns(tiny_db, min_table_bytes=1)
+        try:
+            shared.share()
+            assert shared.shared_bytes > 0
+            assert set(shared.shared_tables) == set(tiny_db.tables)
+            for (name, cname), (values, null_mask) in originals.items():
+                column = tiny_db.tables[name].columns[cname]
+                assert column.values is not values
+                np.testing.assert_array_equal(column.values, values)
+                np.testing.assert_array_equal(column.null_mask, null_mask)
+                # Read-only: an accidental in-place write must fail
+                # loudly instead of leaking into sibling workers.
+                assert not column.values.flags.writeable
+        finally:
+            shared.restore()
+        for (name, cname), (values, null_mask) in originals.items():
+            column = tiny_db.tables[name].columns[cname]
+            assert column.values is values
+            assert column.null_mask is null_mask
+        shared.restore()  # idempotent
+
+    def test_share_is_idempotent(self, tiny_db):
+        with SharedColumns(tiny_db, min_table_bytes=1) as shared:
+            first = shared.shared_bytes
+            shared.share()
+            assert shared.shared_bytes == first
+
+    def test_small_tables_stay_on_heap(self, tiny_db):
+        originals = {
+            name: table.columns for name, table in tiny_db.tables.items()
+        }
+        with SharedColumns(tiny_db, min_table_bytes=1 << 40) as shared:
+            assert shared.shared_bytes == 0
+            assert shared.shared_tables == ()
+            for name, columns in originals.items():
+                for cname, column in columns.items():
+                    assert tiny_db.tables[name].columns[cname] is column
+
+    def test_no_database_is_a_noop(self):
+        with SharedColumns(None, min_table_bytes=1) as shared:
+            assert shared.shared_bytes == 0
+
+    def test_object_dtype_arrays_are_skipped(self, tiny_db):
+        column = tiny_db.tables["users"].columns["Reputation"]
+        original = column.values
+        column.values = original.astype(object)
+        try:
+            with SharedColumns(tiny_db, min_table_bytes=1) as shared:
+                # The object column stays put; siblings still move.
+                assert tiny_db.tables["users"].columns[
+                    "Reputation"
+                ].values.dtype == object
+                assert shared.shared_bytes > 0
+        finally:
+            column.values = original
+
+    @needs_fork
+    def test_parallel_run_with_sharing_matches_serial(
+        self, monkeypatch, bench, stats_db, subset
+    ):
+        from repro.core import parallel as parallel_module
+
+        # The scaled-down test database is far below the production
+        # 8 MiB threshold, so force sharing on to exercise the path.
+        monkeypatch.setattr(parallel_module, "SHARE_COLUMNS_MIN_BYTES", 1)
+        estimator = PostgresEstimator().fit(stats_db)
+        serial = bench.run(estimator, queries=subset)
+        obs_metrics.reset()
+        runs = run_parallel(bench, estimator, subset, 2)
+        counters = obs_metrics.snapshot()["counters"]
+        assert counters.get("parallel.shared_column_bytes", 0) > 0
+        obs_metrics.reset()
+        for s, p in zip(serial.query_runs, runs):
+            assert s.query_name == p.query_name
+            assert s.result_cardinality == p.result_cardinality
+            assert s.q_errors == p.q_errors
+        # The pool restored every column to its writable heap array.
+        for table in stats_db.tables.values():
+            for column in table.columns.values():
+                assert column.values.flags.writeable
 
 
 class TestSerialFallback:

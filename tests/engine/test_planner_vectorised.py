@@ -1,0 +1,403 @@
+"""Tests for the vectorised DP scoring path and its scalar oracle.
+
+The contract under test: for any query and any injected cards map, the
+vectorised planner and the scalar planner produce the *bit-identical*
+``(plan, estimated_cost)`` pair — including under cost ties, zero
+cardinalities and sub-row fractional cardinalities — because both paths
+share the cost kernels and the codified deterministic total order
+``(cost, method_rank, left_mask)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.truecards import TrueCardinalityService
+from repro.engine.cost import CostModel, MissingCardinalityError, table_infos
+from repro.engine.planner import (
+    DEFAULT_VECTORISED,
+    Planner,
+    set_default_vectorised,
+)
+from repro.engine.plans import (
+    JOIN_HASH,
+    JOIN_INDEX_NL,
+    JOIN_MERGE,
+    JoinNode,
+    ScanNode,
+)
+from repro.engine.predicates import Predicate
+from repro.engine.query import Query
+from repro.resilience.policy import RetryPolicy, call_with_retry
+
+
+@pytest.fixture(scope="module")
+def three_way_query(tiny_db):
+    graph = tiny_db.join_graph
+    return Query(
+        tables=frozenset({"users", "posts", "comments"}),
+        join_edges=tuple(graph.edges),
+        predicates=(
+            Predicate("users", "Reputation", ">", 3),
+            Predicate("posts", "Id", "<", 1_500),
+        ),
+        name="vectorised-test",
+    )
+
+
+@pytest.fixture(scope="module")
+def true_cards(tiny_db, three_way_query):
+    service = TrueCardinalityService(tiny_db)
+    return {
+        subset: float(count)
+        for subset, count in service.sub_plan_cards(three_way_query).items()
+    }
+
+
+def both_paths(tiny_db, query, cards):
+    scalar = Planner(tiny_db, vectorised=False).plan(query, cards)
+    vector = Planner(tiny_db, vectorised=True).plan(query, cards)
+    return scalar, vector
+
+
+class TestBitIdentity:
+    """Vectorised output must equal the scalar oracle bit for bit."""
+
+    def test_true_cards(self, tiny_db, three_way_query, true_cards):
+        scalar, vector = both_paths(tiny_db, three_way_query, true_cards)
+        assert scalar.plan == vector.plan
+        assert float(scalar.estimated_cost) == float(vector.estimated_cost)
+
+    @pytest.mark.parametrize("value", [1.0, 0.0, 0.25, 1e9])
+    def test_uniform_cards(self, tiny_db, three_way_query, true_cards, value):
+        # All-tied, all-zero, sub-row and huge cardinalities: the
+        # degenerate maps most likely to expose tie-break or clamp
+        # divergence between the paths.
+        cards = {subset: value for subset in true_cards}
+        scalar, vector = both_paths(tiny_db, three_way_query, cards)
+        assert scalar.plan == vector.plan
+        assert float(scalar.estimated_cost) == float(vector.estimated_cost)
+
+    def test_random_cards(self, tiny_db, three_way_query, true_cards):
+        rng = np.random.default_rng(42)
+        pool = np.array([0.0, 0.25, 1.0, 2.0, 640.0, 1e6])
+        for _ in range(25):
+            cards = {
+                subset: float(rng.choice(pool)) for subset in true_cards
+            }
+            scalar, vector = both_paths(tiny_db, three_way_query, cards)
+            assert scalar.plan == vector.plan, cards
+            assert float(scalar.estimated_cost) == float(
+                vector.estimated_cost
+            ), cards
+
+    def test_two_table_query(self, tiny_db, true_cards):
+        graph = tiny_db.join_graph
+        query = Query(
+            tables=frozenset({"users", "posts"}),
+            join_edges=tuple(graph.edges_between("users", "posts")),
+            name="two-way",
+        )
+        cards = {
+            frozenset({"users"}): 500.0,
+            frozenset({"posts"}): 2_000.0,
+            frozenset({"users", "posts"}): 2_000.0,
+        }
+        scalar, vector = both_paths(tiny_db, query, cards)
+        assert scalar.plan == vector.plan
+        assert float(scalar.estimated_cost) == float(vector.estimated_cost)
+
+
+class TestDeterministicTieBreaking:
+    """Satellite: cost ties resolve by (cost, method_rank, left_mask)."""
+
+    def test_tied_costs_pick_same_plan_in_both_paths(
+        self, tiny_db, three_way_query, true_cards
+    ):
+        cards = {subset: 1.0 for subset in true_cards}
+        scalar, vector = both_paths(tiny_db, three_way_query, cards)
+        assert scalar.plan == vector.plan
+
+    def test_tied_costs_are_reproducible(
+        self, tiny_db, three_way_query, true_cards
+    ):
+        cards = {subset: 1.0 for subset in true_cards}
+        plans = [
+            Planner(tiny_db, vectorised=vec).plan(three_way_query, cards).plan
+            for vec in (False, True, False, True)
+        ]
+        assert all(plan == plans[0] for plan in plans)
+
+    def test_tie_prefers_lower_method_rank(self, tiny_db, true_cards):
+        # With every candidate cost identical per split, the winner's
+        # method must be the lowest-ranked one that achieves the
+        # champion cost — never an arbitrary enumeration-order artifact.
+        cards = {subset: 1.0 for subset in true_cards}
+        query = Query(
+            tables=frozenset({"users", "posts", "comments"}),
+            join_edges=tuple(tiny_db.join_graph.edges),
+            name="tie-rank",
+        )
+        planned = Planner(tiny_db, vectorised=True).plan(query, cards)
+        cost_model = Planner(tiny_db).cost_model
+        for node in planned.plan.walk():
+            if not isinstance(node, JoinNode):
+                continue
+            chosen_rank = [JOIN_HASH, JOIN_MERGE, JOIN_INDEX_NL].index(
+                node.method
+            )
+            chosen_cost = cost_model.plan_cost(node, cards)
+            for rank, method in enumerate([JOIN_HASH, JOIN_MERGE, JOIN_INDEX_NL]):
+                if rank >= chosen_rank:
+                    continue
+                if method == JOIN_INDEX_NL and not isinstance(
+                    node.right, ScanNode
+                ):
+                    continue
+                alternative = JoinNode(
+                    tables=node.tables,
+                    left=node.left,
+                    right=node.right,
+                    edge=node.edge,
+                    method=method,
+                )
+                assert cost_model.plan_cost(alternative, cards) > chosen_cost
+
+
+class TestDefaultToggle:
+    def test_default_is_vectorised(self, tiny_db):
+        assert DEFAULT_VECTORISED
+        assert Planner(tiny_db).vectorised
+
+    def test_set_default_vectorised(self, tiny_db):
+        try:
+            set_default_vectorised(False)
+            assert not Planner(tiny_db).vectorised
+            # An explicit argument always wins over the default.
+            assert Planner(tiny_db, vectorised=True).vectorised
+        finally:
+            set_default_vectorised(True)
+
+    def _paths_taken(self, monkeypatch, planner, queries_and_cards):
+        taken = []
+        scalar, vectorised = Planner._plan_scalar, Planner._plan_vectorised
+        monkeypatch.setattr(
+            Planner,
+            "_plan_scalar",
+            lambda self, *a: taken.append("scalar") or scalar(self, *a),
+        )
+        monkeypatch.setattr(
+            Planner,
+            "_plan_vectorised",
+            lambda self, *a: taken.append("vectorised") or vectorised(self, *a),
+        )
+        for query, cards in queries_and_cards:
+            planner.plan(query, cards)
+        return taken
+
+    def test_small_queries_take_the_scalar_path_by_default(
+        self, monkeypatch, tiny_db, three_way_query, true_cards
+    ):
+        # A default (adaptive) planner sends queries below
+        # VECTORISE_MIN_TABLES through the scalar path — batching a
+        # single DP level costs more in numpy overhead than it saves —
+        # and larger ones through the batch kernels.
+        pair = frozenset({"users", "posts"})
+        graph = tiny_db.join_graph
+        two_way = Query(
+            tables=pair,
+            join_edges=tuple(graph.edges_between("users", "posts")),
+            predicates=(),
+            name="adaptive-two-way",
+        )
+        two_cards = {
+            subset: cards
+            for subset, cards in true_cards.items()
+            if subset <= pair
+        }
+        taken = self._paths_taken(
+            monkeypatch,
+            Planner(tiny_db),
+            [(two_way, two_cards), (three_way_query, true_cards)],
+        )
+        assert taken == ["scalar", "vectorised"]
+
+    def test_explicit_vectorised_bypasses_the_size_floor(
+        self, monkeypatch, tiny_db, true_cards
+    ):
+        pair = frozenset({"users", "posts"})
+        graph = tiny_db.join_graph
+        two_way = Query(
+            tables=pair,
+            join_edges=tuple(graph.edges_between("users", "posts")),
+            predicates=(),
+            name="forced-two-way",
+        )
+        two_cards = {
+            subset: cards
+            for subset, cards in true_cards.items()
+            if subset <= pair
+        }
+        taken = self._paths_taken(
+            monkeypatch,
+            Planner(tiny_db, vectorised=True),
+            [(two_way, two_cards)],
+        )
+        assert taken == ["vectorised"]
+
+
+class TestMissingCardinality:
+    """Satellite: missing sub-plans raise a typed, non-retryable error."""
+
+    @pytest.mark.parametrize("vectorised", [False, True])
+    def test_planner_raises_typed_error(
+        self, tiny_db, three_way_query, true_cards, vectorised
+    ):
+        cards = dict(true_cards)
+        dropped = frozenset({"users", "posts"})
+        del cards[dropped]
+        with pytest.raises(MissingCardinalityError) as excinfo:
+            Planner(tiny_db, vectorised=vectorised).plan(three_way_query, cards)
+        assert excinfo.value.tables == dropped
+
+    def test_error_names_the_subset(self):
+        error = MissingCardinalityError(frozenset({"b", "a"}))
+        assert error.tables == frozenset({"a", "b"})
+        assert str(error) == "no injected cardinality for sub-plan a+b"
+
+    def test_error_is_a_keyerror(self):
+        # Existing `except KeyError` handlers must keep working.
+        assert issubclass(MissingCardinalityError, KeyError)
+
+    def test_classified_non_retryable(self):
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise MissingCardinalityError(frozenset({"users"}))
+
+        with pytest.raises(MissingCardinalityError):
+            call_with_retry(
+                failing,
+                RetryPolicy(max_attempts=4, backoff_seconds=0.0),
+                non_retryable=(MissingCardinalityError,),
+            )
+        assert len(calls) == 1  # deterministic failure: never retried
+
+
+class TestBatchKernelParity:
+    """The batch kernels must reproduce the scalar formulas bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def cost_model(self, tiny_db):
+        return CostModel(table_infos(tiny_db))
+
+    @pytest.fixture(scope="class")
+    def scan_nodes(self, tiny_db, three_way_query):
+        planner = Planner(tiny_db)
+        nodes = []
+        for table in sorted(three_way_query.tables):
+            nodes.extend(planner._scan_candidates(three_way_query, table))
+        return nodes
+
+    def test_scan_cost_batch_matches_scalar(
+        self, cost_model, scan_nodes, true_cards
+    ):
+        batched = cost_model.scan_cost_batch(scan_nodes, true_cards)
+        for node, cost in zip(scan_nodes, batched):
+            assert float(cost) == cost_model.scan_cost(node, true_cards)
+
+    @pytest.mark.parametrize("method", [JOIN_HASH, JOIN_MERGE, JOIN_INDEX_NL])
+    def test_join_cost_batch_matches_scalar(
+        self, tiny_db, cost_model, three_way_query, true_cards, method
+    ):
+        planner = Planner(tiny_db, vectorised=False)
+        planned = planner.plan(three_way_query, true_cards)
+        joins = [
+            n for n in planned.plan.walk() if isinstance(n, JoinNode)
+        ]
+        if method == JOIN_INDEX_NL:
+            joins = [n for n in joins if isinstance(n.right, ScanNode)]
+        if not joins:
+            pytest.skip("plan has no join eligible for this method")
+        nodes = [
+            JoinNode(
+                tables=n.tables,
+                left=n.left,
+                right=n.right,
+                edge=n.edge,
+                method=method,
+            )
+            for n in joins
+        ]
+        left_costs = np.array(
+            [cost_model.plan_cost(n.left, true_cards) for n in nodes]
+        )
+        right_costs = np.array(
+            [cost_model.plan_cost(n.right, true_cards) for n in nodes]
+        )
+        kwargs = {}
+        if method == JOIN_INDEX_NL:
+            infos = cost_model.infos
+            kwargs = dict(
+                inner_raw_rows=np.array(
+                    [infos[n.right.table].raw_rows for n in nodes], dtype=float
+                ),
+                inner_num_predicates=np.array(
+                    [len(n.right.predicates) for n in nodes], dtype=float
+                ),
+            )
+        batched = cost_model.join_cost_batch(
+            method,
+            np.array([true_cards[n.tables] for n in nodes]),
+            np.array([true_cards[n.left.tables] for n in nodes]),
+            np.array([true_cards[n.right.tables] for n in nodes]),
+            left_costs,
+            right_costs,
+            **kwargs,
+        )
+        for node, cost, lc, rc in zip(nodes, batched, left_costs, right_costs):
+            scalar = cost_model.join_cost(
+                node, true_cards, left_cost=float(lc), right_cost=float(rc)
+            )
+            assert float(cost) == scalar
+
+    def test_join_cost_level_matches_per_method_batches(self, cost_model):
+        rng = np.random.default_rng(7)
+        num = 40
+        out_rows = rng.uniform(-1.0, 1e6, num)  # negatives exercise clamps
+        left_rows = rng.uniform(-1.0, 1e6, num)
+        right_rows = rng.uniform(-1.0, 1e6, num)
+        left_costs = rng.uniform(0.0, 1e5, num)
+        right_costs = rng.uniform(0.0, 1e5, num)
+        inl_rows = np.flatnonzero(rng.random(num) < 0.4).astype(np.intp)
+        inner_raw = rng.uniform(1.0, 1e5, len(inl_rows))
+        inner_npred = rng.integers(0, 3, len(inl_rows)).astype(float)
+
+        fused = cost_model.join_cost_level(
+            out_rows,
+            left_rows,
+            right_rows,
+            left_costs,
+            right_costs,
+            inl_rows,
+            inner_raw,
+            inner_npred,
+        )
+        hash_costs = cost_model.join_cost_batch(
+            JOIN_HASH, out_rows, left_rows, right_rows, left_costs, right_costs
+        )
+        merge_costs = cost_model.join_cost_batch(
+            JOIN_MERGE, out_rows, left_rows, right_rows, left_costs, right_costs
+        )
+        inl_costs = cost_model.join_cost_batch(
+            JOIN_INDEX_NL,
+            out_rows[inl_rows],
+            left_rows[inl_rows],
+            right_rows[inl_rows],
+            left_costs[inl_rows],
+            right_costs[inl_rows],
+            inner_raw_rows=inner_raw,
+            inner_num_predicates=inner_npred,
+        )
+        expected = np.concatenate([hash_costs, merge_costs, inl_costs])
+        np.testing.assert_array_equal(fused, expected)  # bitwise

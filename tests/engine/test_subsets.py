@@ -165,3 +165,48 @@ class TestLeafSplit:
                 )
 
         assert leaf_split(CyclicStub(), frozenset({"a", "b", "c"})) is None
+
+
+class TestSpaceCacheBound:
+    """Satellite: the per-shape memo is bounded and clearable."""
+
+    def test_memo_never_exceeds_maxsize(self):
+        from repro.engine.subsets import (
+            SPACE_CACHE_MAXSIZE,
+            clear_space_cache,
+            space_cache_info,
+        )
+
+        clear_space_cache()
+        try:
+            # Present far more fresh join-graph shapes than the memo may
+            # hold — the fuzz-sweep access pattern.
+            for i in range(SPACE_CACHE_MAXSIZE + 50):
+                left, right = f"t{i:04d}", f"u{i:04d}"
+                plan_space(
+                    frozenset({left, right}),
+                    (JoinEdge(left, "Id", right, "TId"),),
+                )
+                assert space_cache_info().currsize <= SPACE_CACHE_MAXSIZE
+            info = space_cache_info()
+            assert info.currsize == SPACE_CACHE_MAXSIZE
+            assert info.maxsize == SPACE_CACHE_MAXSIZE
+        finally:
+            clear_space_cache()
+
+    def test_clear_drops_every_entry(self, chain_query):
+        from repro.engine.subsets import clear_space_cache, space_cache_info
+
+        space_of(chain_query)
+        assert space_cache_info().currsize >= 1
+        clear_space_cache()
+        assert space_cache_info().currsize == 0
+        # The cleared memo rebuilds (and re-memoizes) on demand.
+        first = space_of(chain_query)
+        assert space_of(chain_query) is first
+
+    def test_level_templates_cached_on_space(self, chain_query):
+        space = space_of(chain_query)
+        templates = space.level_templates()
+        assert space.level_templates() is templates
+        assert [t.parent_masks for t in templates]
